@@ -1,0 +1,59 @@
+"""Object storage through StorM (the paper's §II-A generality claim).
+
+A Swift-like object server runs on a storage host; a tenant VM's
+bucket is attached through an object-encryption middle-box using the
+exact same splicing/steering/atomic-attach machinery as block volumes
+— just on the object port.
+
+Run:  python examples/object_storage.py
+"""
+
+from repro.cloud import CloudController
+from repro.core import StorM
+from repro.core.policy import ServiceSpec
+from repro.objstore import ObjectStoreServer
+from repro.services import install_default_services
+from repro.sim import Simulator
+
+
+def main():
+    sim = Simulator()
+    cloud = CloudController(sim)
+    for i in (1, 2, 3, 4):
+        cloud.add_compute_host(f"compute{i}")
+    storage = cloud.add_storage_host("storage1")
+    tenant = cloud.create_tenant("acme")
+    vm = cloud.boot_vm(tenant, "vm1", cloud.compute_hosts["compute1"])
+    backing = cloud.create_volume(tenant, "obj-backing", 16 * 1024 * 1024)
+    server = ObjectStoreServer(sim, storage.stack, storage.storage_iface.ip, backing)
+
+    storm = StorM(sim, cloud)
+    install_default_services(storm)
+    crypt = storm.provision_middlebox(
+        tenant, ServiceSpec("objcrypt", "object-encryption", relay="active")
+    )
+
+    def scenario():
+        flow = yield sim.process(
+            storm.attach_object_session(
+                tenant, vm, storage.storage_iface.ip, [crypt]
+            )
+        )
+        print(f"object session spliced through {crypt.name} (port 8080)")
+        secret = b"quarterly numbers: up and to the right" * 20
+        yield flow.session.put("finance", "q3.xlsx", secret)
+        response = yield flow.session.get("finance", "q3.xlsx")
+        print(f"client read back {len(response.data)} bytes, intact: {response.data == secret}")
+        listing = yield flow.session.list("finance")
+        print(f"bucket listing: {listing.keys}")
+        extent = server._index[("finance", "q3.xlsx")]
+        at_rest = backing.read_sync(extent.offset, 4096)
+        print(f"at rest on the object volume: {at_rest[:20]!r}")
+        assert response.data == secret and not at_rest.startswith(b"quarterly")
+        print("OK: object flow encrypted by the tenant's middle-box.")
+
+    sim.run(until=sim.process(scenario()))
+
+
+if __name__ == "__main__":
+    main()

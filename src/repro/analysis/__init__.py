@@ -1,0 +1,6 @@
+"""Measurement and reporting helpers for the evaluation harness."""
+
+from repro.analysis.metrics import LatencyStats, Timeline, percentile
+from repro.analysis.report import format_table, normalize
+
+__all__ = ["LatencyStats", "Timeline", "format_table", "normalize", "percentile"]

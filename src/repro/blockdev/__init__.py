@@ -1,0 +1,21 @@
+"""Block-storage substrate: disks, volumes, volume groups.
+
+Mirrors the paper's storage host: one physical SATA disk per storage
+node, carved into logical volumes by an LVM-like volume group, served
+over iSCSI by :mod:`repro.iscsi`.  Disks store real bytes (sparse, at
+4 KiB granularity) so services like encryption are functionally
+verifiable, and charge simulated service time per operation.
+"""
+
+from repro.blockdev.disk import Disk, DiskStats
+from repro.blockdev.volume import Volume, VolumeGroup
+from repro.blockdev.snapshot import SnapshotVolume, SnapshottableVolume
+
+__all__ = [
+    "Disk",
+    "DiskStats",
+    "SnapshotVolume",
+    "SnapshottableVolume",
+    "Volume",
+    "VolumeGroup",
+]

@@ -1,0 +1,29 @@
+"""The IaaS cloud substrate (OpenStack-like).
+
+Builds the paper's Figure 1 testbed: compute hosts (each with an
+OVS-style virtual switch on the instance network and an iSCSI
+initiator on the storage network), storage hosts (disk + volume group
++ iSCSI target, i.e. Cinder's LVM driver), tenant VMs with metered
+vCPUs, and a cloud controller exposing Nova/Cinder/Neutron-shaped
+operations (boot VM, create volume, attach volume, tenant networks).
+"""
+
+from repro.cloud.params import CloudParams
+from repro.cloud.cpu import CpuMeter
+from repro.cloud.addressing import AddressAllocator
+from repro.cloud.tenant import Tenant
+from repro.cloud.vm import VirtualMachine
+from repro.cloud.compute import ComputeHost
+from repro.cloud.storagehost import StorageHost
+from repro.cloud.controller import CloudController
+
+__all__ = [
+    "AddressAllocator",
+    "CloudController",
+    "CloudParams",
+    "ComputeHost",
+    "CpuMeter",
+    "StorageHost",
+    "Tenant",
+    "VirtualMachine",
+]

@@ -1,0 +1,28 @@
+"""MAC and IP allocation for the simulated datacenter."""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+class AddressAllocator:
+    """Hands out unique MACs and per-subnet IPs."""
+
+    def __init__(self):
+        self._mac_counter = 0
+        self._ip_cursors: dict[str, int] = {}
+
+    def next_mac(self, prefix: str = "02:00") -> str:
+        self._mac_counter += 1
+        value = self._mac_counter
+        octets = [(value >> shift) & 0xFF for shift in (24, 16, 8, 0)]
+        return f"{prefix}:" + ":".join(f"{o:02x}" for o in octets)
+
+    def next_ip(self, subnet: str) -> str:
+        network = ipaddress.ip_network(subnet)
+        cursor = self._ip_cursors.get(subnet, 1)  # skip network address
+        address = network.network_address + cursor
+        if address >= network.broadcast_address:
+            raise ValueError(f"subnet {subnet} exhausted")
+        self._ip_cursors[subnet] = cursor + 1
+        return str(address)

@@ -1,0 +1,19 @@
+"""Tenants and their isolated virtual networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Tenant:
+    """A cloud customer: owns VMs, volumes, and a network namespace."""
+
+    tenant_id: int
+    name: str
+    subnet: str
+    vm_names: list[str] = field(default_factory=list)
+    volume_names: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"tenant-{self.tenant_id}:{self.name}"

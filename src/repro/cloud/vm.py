@@ -1,0 +1,50 @@
+"""Tenant virtual machines.
+
+A VM is a network node with metered vCPUs.  Its block devices are
+iSCSI sessions opened by the *host* initiator (as in KVM/OpenStack),
+recorded against the VM by the hypervisor — which is exactly why
+connection attribution is needed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cloud.cpu import CpuMeter
+from repro.net.stack import Node
+from repro.sim import Simulator
+
+if TYPE_CHECKING:
+    from repro.cloud.compute import ComputeHost
+    from repro.cloud.tenant import Tenant
+    from repro.iscsi.initiator import IscsiSession
+
+
+class VirtualMachine(Node):
+    """A guest: vCPUs, one instance-network NIC, attached volumes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tenant: "Tenant",
+        host: "ComputeHost",
+        vcpus: int = 2,
+    ):
+        super().__init__(sim, name)
+        self.tenant = tenant
+        self.host = host
+        self.vcpus = vcpus
+        self.cpu = CpuMeter(sim, f"{name}.cpu", cores=vcpus)
+        #: volume name -> live iSCSI session serving that virtual disk
+        self.block_devices: dict[str, "IscsiSession"] = {}
+        self.ip: Optional[str] = None
+
+    def device(self, volume_name: str) -> "IscsiSession":
+        try:
+            return self.block_devices[volume_name]
+        except KeyError:
+            raise KeyError(
+                f"VM {self.name} has no volume {volume_name!r} attached "
+                f"(attached: {sorted(self.block_devices)})"
+            )

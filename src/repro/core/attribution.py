@@ -1,0 +1,69 @@
+"""Connection attribution (paper §III-A).
+
+iSCSI connections originate from the *host* initiator, so their TCP
+4-tuples carry host addresses only.  StorM recovers which VM owns each
+connection by combining two sources the paper identifies:
+
+1. the hypervisor's record of which virtual block device (IQN) is
+   attached to which VM, and
+2. the modified iSCSI Login Session code that exposes the TCP source
+   port alongside the IQN at login time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.compute import ComputeHost
+
+
+@dataclass
+class AttributionRecord:
+    """One attributed storage connection."""
+
+    host_name: str
+    host_ip: str
+    local_port: int
+    iqn: str
+    vm_name: str
+    volume_name: str
+
+
+class ConnectionAttributor:
+    """Maps (host_ip, src_port) → owning VM and volume."""
+
+    def __init__(self):
+        self._by_flow: dict[tuple[str, int], AttributionRecord] = {}
+        self._watched: set[str] = set()
+
+    def watch_host(self, host: ComputeHost) -> None:
+        """Install the login hook on a host's initiator (idempotent)."""
+        if host.name in self._watched:
+            return
+        self._watched.add(host.name)
+
+        def on_login(iqn: str, local_port: int) -> None:
+            attachment = host.hypervisor.attachment_for_iqn(iqn)
+            if attachment is None:
+                return  # a connection StorM was not asked to manage
+            record = AttributionRecord(
+                host_name=host.name,
+                host_ip=host.storage_iface.ip,
+                local_port=local_port,
+                iqn=iqn,
+                vm_name=attachment.vm_name,
+                volume_name=attachment.volume_name,
+            )
+            self._by_flow[(record.host_ip, local_port)] = record
+
+        host.initiator.login_hooks.append(on_login)
+
+    def attribute(self, host_ip: str, src_port: int) -> Optional[AttributionRecord]:
+        return self._by_flow.get((host_ip, src_port))
+
+    def records_for_vm(self, vm_name: str) -> list[AttributionRecord]:
+        return [r for r in self._by_flow.values() if r.vm_name == vm_name]
+
+    def __len__(self) -> int:
+        return len(self._by_flow)

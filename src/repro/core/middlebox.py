@@ -1,0 +1,138 @@
+"""Middle-box VMs and the storage-service API.
+
+A middle-box is a minimal VM provisioned by the provider but running
+tenant-defined service logic.  The only in-guest network configuration
+is IP forwarding (paper §III-A).  Services implement
+:class:`StorageService`: per-PDU processing with simulated CPU cost,
+optional payload transformation, or — for services like replication —
+full takeover of command handling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cloud.cpu import CpuMeter
+from repro.iscsi.pdu import DataInPdu, ScsiCommandPdu
+from repro.net.stack import Node
+from repro.sim import Simulator
+
+if TYPE_CHECKING:
+    from repro.cloud.tenant import Tenant
+
+
+def payload_bytes(pdu) -> int:
+    """Data bytes a service actually processes in a PDU."""
+    if isinstance(pdu, ScsiCommandPdu) and pdu.op == "write":
+        return pdu.length
+    if isinstance(pdu, DataInPdu):
+        return pdu.length
+    return 0
+
+
+class StorageService:
+    """Base class for tenant-defined middle-box services.
+
+    Subclasses override :meth:`transform_upstream` /
+    :meth:`transform_downstream` for per-PDU payload rewriting (e.g.
+    encryption), or :meth:`process` for full control of forwarding
+    (e.g. replication's fan-out and read striping).  ``cpu_per_byte``
+    is the simulated CPU cost charged on the middle-box vCPUs.
+    """
+
+    name = "storage-service"
+    cpu_per_byte: float = 0.0
+    #: True = the active relay must buffer a whole PDU before calling
+    #: :meth:`process` (no cut-through), so the service can still drop
+    #: it or answer with ``ctx.reply`` — needed by gatekeeping services
+    #: like access control.  Costs the pipelining benefit on large PDUs.
+    requires_full_pdu: bool = False
+
+    def __init__(self):
+        self.middlebox: Optional["MiddleBox"] = None
+        self.pdus_processed = 0
+
+    def attach(self, middlebox: "MiddleBox") -> None:
+        self.middlebox = middlebox
+
+    # -- default pipeline ------------------------------------------------
+
+    def process(self, pdu, direction: str, ctx, charged: bool = False):
+        """Process one PDU; ``direction`` is "upstream" (toward storage)
+        or "downstream" (toward the VM).  ``ctx`` is a
+        :class:`~repro.core.relay.RelayContext`: call ``ctx.forward(pdu)``
+        to continue along the chain or ``ctx.reply(pdu)`` to answer the
+        sender directly (active relay only).  ``charged`` is True when
+        the relay already billed this PDU's per-byte CPU (it charges per
+        chunk as segments arrive).  Default: charge CPU, apply the
+        transform, forward."""
+        cost = 0.0 if charged else self.cpu_per_byte * payload_bytes(pdu)
+        if cost and self.middlebox is not None:
+            yield from self.middlebox.cpu.consume(cost)
+        self.pdus_processed += 1
+        if direction == "upstream":
+            pdu = self.transform_upstream(pdu)
+        else:
+            pdu = self.transform_downstream(pdu)
+        if pdu is not None:
+            ctx.forward(pdu)
+
+    def transform_upstream(self, pdu):
+        return pdu
+
+    def transform_downstream(self, pdu):
+        return pdu
+
+    def on_flow_closed(self, reason: str) -> None:
+        """Called when a relayed connection ends (EOF/reset)."""
+
+    def on_volume_attached(self, volume, flow) -> None:
+        """Called by the platform once the spliced attach completes —
+        the point where StorM supplies the initial filesystem view to
+        services that need one (paper §III-C)."""
+
+
+class NoopService(StorageService):
+    """Forwards unchanged — used for the MB-FWD/API overhead baselines."""
+
+    name = "noop"
+
+
+class MiddleBox(Node):
+    """A middle-box VM: one instance-network NIC, metered vCPUs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tenant: "Tenant",
+        vcpus: int = 2,
+        memory_mb: int = 4096,
+    ):
+        super().__init__(sim, name)
+        self.tenant = tenant
+        self.vcpus = vcpus
+        self.memory_mb = memory_mb
+        self.cpu = CpuMeter(sim, f"{name}.cpu", cores=vcpus)
+        self.service: Optional[StorageService] = None
+        self.relay = None  # PassiveRelay/ActiveRelay instance, if any
+        self.relay_mode = None  # RelayMode, set at provisioning
+        self.host_name: Optional[str] = None
+
+    @property
+    def instance_iface(self):
+        if not self.interfaces:
+            raise RuntimeError(f"middle-box {self.name} has no NIC yet")
+        return self.interfaces[0]
+
+    @property
+    def mac(self) -> str:
+        return self.instance_iface.mac
+
+    @property
+    def ip(self) -> str:
+        return self.instance_iface.ip
+
+    def install_service(self, service: StorageService) -> None:
+        self.service = service
+        service.attach(self)

@@ -1,0 +1,346 @@
+"""The StorM platform orchestrator (paper §III-D, §IV).
+
+Ties everything together: parses tenant policies, provisions gateway
+pairs and middle-box VMs, wires relays, and performs the *atomic
+volume attach*:
+
+1. take the platform-wide attach mutex;
+2. install the transient NAT rules (host → ingress → egress) and the
+   wildcard steering chain;
+3. attach the volume — the host initiator's connection is pulled
+   through the gateways and middle-boxes, and conntrack pins every
+   translation;
+4. attribute the new connection (login hook → IQN → VM) and narrow the
+   steering rules to the now-known source port;
+5. remove the transient NAT rules and release the mutex.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cloud.compute import ComputeHost
+from repro.cloud.controller import CloudController
+from repro.cloud.tenant import Tenant
+from repro.cloud.vm import VirtualMachine
+from repro.core.attribution import AttributionRecord, ConnectionAttributor
+from repro.core.middlebox import MiddleBox, NoopService, StorageService
+from repro.core.policy import PolicyError, ServiceSpec, TenantPolicy
+from repro.core.relay import ActiveRelay, PassiveRelay, RelayMode
+from repro.core.splicing import (
+    GatewayPair,
+    create_gateway_pair,
+    install_attach_nat,
+    remove_attach_nat,
+)
+from repro.core.steering import SteeringChain
+from repro.sim import Resource, Simulator
+
+
+@dataclass
+class StorMFlow:
+    """One spliced storage connection with its service chain."""
+
+    tenant_name: str
+    vm_name: str
+    volume_name: str
+    src_port: int
+    middleboxes: list[MiddleBox]
+    chain: SteeringChain
+    gateways: GatewayPair
+    cookie: str
+    session: object = None
+    attribution: Optional[AttributionRecord] = None
+
+
+class StorM:
+    """The provider-side platform."""
+
+    def __init__(self, sim: Simulator, cloud: CloudController):
+        self.sim = sim
+        self.cloud = cloud
+        self.attributor = ConnectionAttributor()
+        self._attach_mutex = Resource(sim, capacity=1)
+        self.gateway_pairs: dict[str, GatewayPair] = {}
+        self.middleboxes: dict[str, MiddleBox] = {}
+        self.flows: list[StorMFlow] = []
+        self._mb_ids = itertools.count(1)
+        self._placement_cycle = None
+        self.service_factories: dict[str, Callable[[ServiceSpec, "StorM"], StorageService]] = {
+            "noop": lambda spec, storm: NoopService(),
+        }
+
+    # -- registration ------------------------------------------------------
+
+    def register_service(
+        self, kind: str, factory: Callable[[ServiceSpec, "StorM"], StorageService]
+    ) -> None:
+        self.service_factories[kind] = factory
+
+    # -- gateways -----------------------------------------------------------
+
+    def ensure_gateways(
+        self,
+        tenant: Tenant,
+        ingress_host: Optional[ComputeHost] = None,
+        egress_host: Optional[ComputeHost] = None,
+    ) -> GatewayPair:
+        """Per-tenant gateway pair, created on first use.
+
+        Placement is a latency knob (paper §V-A): co-locating the
+        ingress with the VM's host and the egress near the storage node
+        trims the routing overhead; spreading them is the worst case.
+        """
+        pair = self.gateway_pairs.get(tenant.name)
+        if pair is not None:
+            return pair
+        hosts = list(self.cloud.compute_hosts.values())
+        if not hosts:
+            raise PolicyError("no compute hosts available for gateways")
+        ingress_host = ingress_host or hosts[0]
+        egress_host = egress_host or hosts[-1]
+        pair = create_gateway_pair(self.cloud, tenant, ingress_host, egress_host)
+        self.gateway_pairs[tenant.name] = pair
+        return pair
+
+    # -- middle-box provisioning -----------------------------------------------
+
+    def _next_host(self) -> ComputeHost:
+        if self._placement_cycle is None:
+            self._placement_cycle = itertools.cycle(self.cloud.compute_hosts.values())
+        return next(self._placement_cycle)
+
+    def provision_middlebox(self, tenant: Tenant, spec: ServiceSpec) -> MiddleBox:
+        """Create the middle-box VM from a spec and install its service."""
+        spec.validate()
+        if spec.kind not in self.service_factories:
+            raise PolicyError(
+                f"unknown service kind {spec.kind!r}; registered: "
+                f"{sorted(self.service_factories)}"
+            )
+        host = (
+            self.cloud.compute_hosts[spec.placement]
+            if spec.placement
+            else self._next_host()
+        )
+        name = f"mb-{tenant.name}-{spec.name}-{next(self._mb_ids)}"
+        mb = MiddleBox(self.sim, name, tenant, vcpus=spec.vcpus, memory_mb=spec.memory_mb)
+        mb.host_name = host.name
+        self.cloud.plug_instance_iface(mb, host, tenant)
+        # the only in-guest configuration the paper requires:
+        mb.stack.ip_forward = True
+        mb.stack.forward_delay = self.cloud.params.middlebox_forward_delay
+        mb.relay_mode = RelayMode(spec.relay)
+        mb.install_service(self.service_factories[spec.kind](spec, self))
+        if mb.relay_mode is RelayMode.PASSIVE:
+            mb.relay = PassiveRelay(self.sim, mb, self.cloud.params)
+        self.middleboxes[name] = mb
+        return mb
+
+    def _configure_active_relay(
+        self, mb: MiddleBox, gateways: GatewayPair, port: int
+    ) -> None:
+        if mb.relay is not None:
+            if getattr(mb.relay, "egress_port", port) != port:
+                raise PolicyError(
+                    f"middle-box {mb.name} already relays port "
+                    f"{mb.relay.egress_port}; one service port per box"
+                )
+            return
+        mb.relay = ActiveRelay(
+            self.sim,
+            mb,
+            egress_ip=gateways.egress.instance_ip,
+            params=self.cloud.params,
+            egress_port=port,
+            cookie=f"redirect:{mb.name}",
+        )
+
+    # -- the atomic attach -------------------------------------------------------
+
+    def attach_with_services(
+        self,
+        tenant: Tenant,
+        vm: VirtualMachine,
+        volume_name: str,
+        middleboxes: list[MiddleBox],
+        ingress_host: Optional[ComputeHost] = None,
+        egress_host: Optional[ComputeHost] = None,
+    ):
+        """Process: splice + steer + attach one volume through a chain."""
+        volume, storage_host = self.cloud.volume_location(volume_name)
+        target_ip = storage_host.storage_iface.ip
+        gateways = self.ensure_gateways(tenant, ingress_host, egress_host)
+        self.attributor.watch_host(vm.host)
+        from repro.iscsi.pdu import ISCSI_PORT
+
+        for mb in middleboxes:
+            if mb.relay_mode is RelayMode.ACTIVE:
+                self._configure_active_relay(mb, gateways, ISCSI_PORT)
+        cookie = f"storm:{vm.name}:{volume_name}"
+        chain = SteeringChain(self.cloud.sdn, gateways, list(middleboxes), cookie)
+
+        grant = self._attach_mutex.request()
+        yield grant
+        try:
+            install_attach_nat(vm.host, gateways, target_ip, cookie)
+            chain.install(src_port=None)  # wildcard — safe under the mutex
+            session = yield self.sim.process(
+                vm.host.attach_volume(vm, volume_name, volume.iqn, target_ip)
+            )
+            attribution = self.attributor.attribute(
+                vm.host.storage_iface.ip, session.local_port
+            )
+            chain.narrow(session.local_port)
+        finally:
+            remove_attach_nat(vm.host, gateways, cookie)
+            self._attach_mutex.release(grant)
+
+        flow = StorMFlow(
+            tenant_name=tenant.name,
+            vm_name=vm.name,
+            volume_name=volume_name,
+            src_port=session.local_port,
+            middleboxes=list(middleboxes),
+            chain=chain,
+            gateways=gateways,
+            cookie=cookie,
+            session=session,
+            attribution=attribution,
+        )
+        self.flows.append(flow)
+        for mb in middleboxes:
+            if mb.service is not None:
+                mb.service.on_volume_attached(volume, flow)
+        return flow
+
+    # -- object-storage flows (§II-A: "equally applicable") --------------------
+
+    def attach_object_session(
+        self,
+        tenant: Tenant,
+        vm: VirtualMachine,
+        server_ip: str,
+        middleboxes: list[MiddleBox],
+        port: Optional[int] = None,
+        ingress_host: Optional[ComputeHost] = None,
+        egress_host: Optional[ComputeHost] = None,
+    ):
+        """Process: splice an *object-store* connection through a chain.
+
+        Identical protocol to the volume attach — transient NAT rules,
+        wildcard steering under the mutex, then narrowing — just on the
+        object port, demonstrating the paper's claim that the design
+        carries beyond block storage.
+        """
+        from repro.objstore import OBJECT_PORT, ObjectStoreClient
+
+        port = port or OBJECT_PORT
+        host = vm.host
+        if not hasattr(host, "object_client"):
+            host.object_client = ObjectStoreClient(
+                self.sim,
+                host.stack,
+                host.storage_iface.ip,
+                mss=self.cloud.params.mss,
+                window=self.cloud.params.tcp_window,
+            )
+        gateways = self.ensure_gateways(tenant, ingress_host, egress_host)
+        for mb in middleboxes:
+            if mb.relay_mode is RelayMode.ACTIVE:
+                self._configure_active_relay(mb, gateways, port)
+        cookie = f"storm-obj:{vm.name}:{server_ip}:{port}"
+        chain = SteeringChain(
+            self.cloud.sdn, gateways, list(middleboxes), cookie, service_port=port
+        )
+
+        grant = self._attach_mutex.request()
+        yield grant
+        try:
+            install_attach_nat(host, gateways, server_ip, cookie, port=port)
+            chain.install(src_port=None)
+            session = yield self.sim.process(
+                host.object_client.connect(server_ip, port)
+            )
+            chain.narrow(session.local_port)
+        finally:
+            remove_attach_nat(host, gateways, cookie)
+            self._attach_mutex.release(grant)
+
+        flow = StorMFlow(
+            tenant_name=tenant.name,
+            vm_name=vm.name,
+            volume_name=f"objstore://{server_ip}:{port}",
+            src_port=session.local_port,
+            middleboxes=list(middleboxes),
+            chain=chain,
+            gateways=gateways,
+            cookie=cookie,
+            session=session,
+        )
+        self.flows.append(flow)
+        return flow
+
+    # -- policy-driven deployment ---------------------------------------------
+
+    def deploy_policy(
+        self,
+        policy: TenantPolicy,
+        ingress_host: Optional[ComputeHost] = None,
+        egress_host: Optional[ComputeHost] = None,
+    ):
+        """Process: provision everything a tenant policy asks for."""
+        policy.validate()
+        tenant = self.cloud.tenants.get(policy.tenant)
+        if tenant is None:
+            raise PolicyError(f"unknown tenant {policy.tenant!r}")
+        provisioned: dict[str, MiddleBox] = {}
+        for spec in policy.services:
+            provisioned[spec.name] = self.provision_middlebox(tenant, spec)
+        flows = []
+        for chain_policy in policy.chains:
+            vm = self._find_vm(chain_policy.vm)
+            chain_mbs = [provisioned[name] for name in chain_policy.chain]
+            flow = yield self.sim.process(
+                self.attach_with_services(
+                    tenant,
+                    vm,
+                    chain_policy.volume,
+                    chain_mbs,
+                    ingress_host=ingress_host,
+                    egress_host=egress_host,
+                )
+            )
+            flows.append(flow)
+        return flows
+
+    def _find_vm(self, vm_name: str) -> VirtualMachine:
+        for host in self.cloud.compute_hosts.values():
+            if vm_name in host.vms:
+                return host.vms[vm_name]
+        raise PolicyError(f"unknown VM {vm_name!r}")
+
+    # -- on-demand scaling (fwd-mode chains) --------------------------------------
+
+    def reconfigure_chain(self, flow: StorMFlow, middleboxes: list[MiddleBox]) -> None:
+        """Add/remove middle-boxes on an existing flow by reprogramming
+        the SDN switches (paper §III-A).  Restricted to forwarding-mode
+        chains: active relays hold per-flow TCP state."""
+        for mb in list(flow.middleboxes) + list(middleboxes):
+            if mb.relay_mode is RelayMode.ACTIVE:
+                raise PolicyError(
+                    "cannot reconfigure a chain containing active-relay "
+                    "middle-boxes on a live flow"
+                )
+        flow.chain.reconfigure(list(middleboxes))
+        flow.middleboxes = list(middleboxes)
+
+    def detach(self, flow: StorMFlow) -> None:
+        """Tear down a flow: close the session and remove its rules."""
+        if flow.session is not None and flow.session.alive:
+            flow.session.close()
+        flow.chain.remove()
+        if flow in self.flows:
+            self.flows.remove(flow)

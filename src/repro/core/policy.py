@@ -1,0 +1,110 @@
+"""Tenant policies (paper §III-D).
+
+A tenant declares, before using middle-boxes: (1) which VMs/volumes
+get services, (2) each middle-box's service type and virtual
+resources, and (3) how the middle-boxes are chained per volume.
+Policies are plain data (constructed directly or parsed from a dict,
+e.g. loaded from JSON) and validated before deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class PolicyError(Exception):
+    """A tenant policy failed validation."""
+
+
+@dataclass
+class ServiceSpec:
+    """One middle-box: service type plus virtual resources."""
+
+    name: str
+    kind: str  # "monitor" | "encryption" | "replication" | "noop" | custom
+    vcpus: int = 2
+    memory_mb: int = 4096
+    relay: str = "active"  # "active" | "passive" | "fwd"
+    placement: Optional[str] = None  # compute host name, or None = auto
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.name:
+            raise PolicyError("service spec needs a name")
+        if self.vcpus < 1:
+            raise PolicyError(f"service {self.name!r}: vcpus must be >= 1")
+        if self.relay not in ("active", "passive", "fwd"):
+            raise PolicyError(
+                f"service {self.name!r}: relay must be active/passive/fwd, "
+                f"got {self.relay!r}"
+            )
+
+
+@dataclass
+class ChainPolicy:
+    """Which volume of which VM flows through which middle-boxes."""
+
+    vm: str
+    volume: str
+    chain: list[str]  # ServiceSpec names, in traffic order (VM → storage)
+
+    def validate(self, known_services: set[str]) -> None:
+        if not self.vm or not self.volume:
+            raise PolicyError("chain policy needs vm and volume names")
+        for service_name in self.chain:
+            if service_name not in known_services:
+                raise PolicyError(
+                    f"chain for {self.vm}/{self.volume} references unknown "
+                    f"service {service_name!r}"
+                )
+
+
+@dataclass
+class TenantPolicy:
+    tenant: str
+    services: list[ServiceSpec] = field(default_factory=list)
+    chains: list[ChainPolicy] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if not self.tenant:
+            raise PolicyError("policy needs a tenant name")
+        names = [s.name for s in self.services]
+        if len(names) != len(set(names)):
+            raise PolicyError("duplicate service names in policy")
+        for spec in self.services:
+            spec.validate()
+        for chain in self.chains:
+            chain.validate(set(names))
+
+    def service(self, name: str) -> ServiceSpec:
+        for spec in self.services:
+            if spec.name == name:
+                return spec
+        raise PolicyError(f"no service named {name!r} in policy")
+
+
+def parse_policy(raw: dict) -> TenantPolicy:
+    """Build and validate a :class:`TenantPolicy` from plain data."""
+    try:
+        services = [
+            ServiceSpec(
+                name=s["name"],
+                kind=s["kind"],
+                vcpus=int(s.get("vcpus", 2)),
+                memory_mb=int(s.get("memory_mb", 4096)),
+                relay=s.get("relay", "active"),
+                placement=s.get("placement"),
+                options=dict(s.get("options", {})),
+            )
+            for s in raw.get("services", [])
+        ]
+        chains = [
+            ChainPolicy(vm=c["vm"], volume=c["volume"], chain=list(c["chain"]))
+            for c in raw.get("chains", [])
+        ]
+        policy = TenantPolicy(tenant=raw["tenant"], services=services, chains=chains)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PolicyError(f"malformed policy: {exc!r}") from exc
+    policy.validate()
+    return policy

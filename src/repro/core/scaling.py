@@ -1,0 +1,136 @@
+"""On-demand middle-box scaling (paper §II-B, §III-A).
+
+"These services, like VMs, can be scaled up and down, depending upon
+the traffic load, making them truly elastic" — StorM "provides
+on-demand middle-box service scaling by dynamically adding or removing
+middle-boxes on the storage traffic path by programming SDN switches."
+
+:class:`MiddleboxAutoscaler` watches the packet load of a pool of
+forwarding-mode middle-boxes serving a set of flows, grows the pool
+when the per-box load crosses the high watermark, shrinks it at the
+low watermark, and rebalances flows across the pool purely by
+reprogramming steering rules (no connection state moves — which is
+why, like :meth:`~repro.core.platform.StorM.reconfigure_chain`, this
+is restricted to forwarding-mode chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.middlebox import MiddleBox
+from repro.core.platform import StorM, StorMFlow
+from repro.core.policy import PolicyError, ServiceSpec
+
+
+@dataclass
+class ScalingEvent:
+    when: float
+    action: str  # "grow" | "shrink" | "rebalance"
+    pool_size: int
+    load_per_box: float
+
+
+class MiddleboxAutoscaler:
+    """Elastic pool of interchangeable forwarding middle-boxes."""
+
+    def __init__(
+        self,
+        storm: StorM,
+        tenant,
+        template: ServiceSpec,
+        flows: list[StorMFlow],
+        initial_pool: Optional[list[MiddleBox]] = None,
+        min_size: int = 1,
+        max_size: int = 4,
+        check_interval: float = 0.5,
+        high_watermark: float = 2000.0,  # packets/s per box
+        low_watermark: float = 200.0,
+    ):
+        if template.relay != "fwd":
+            raise PolicyError("autoscaling requires forwarding-mode middle-boxes")
+        if min_size < 1 or max_size < min_size:
+            raise PolicyError("need 1 <= min_size <= max_size")
+        self.storm = storm
+        self.tenant = tenant
+        self.template = template
+        self.flows = list(flows)
+        self.pool: list[MiddleBox] = list(initial_pool or [])
+        self.min_size = min_size
+        self.max_size = max_size
+        self.check_interval = check_interval
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.events: list[ScalingEvent] = []
+        self._clone_counter = 0
+        self._last_packet_count = 0
+        self.stopped = False
+
+    # -- pool management ---------------------------------------------------
+
+    def _provision_clone(self) -> MiddleBox:
+        self._clone_counter += 1
+        spec = ServiceSpec(
+            name=f"{self.template.name}-clone{self._clone_counter}",
+            kind=self.template.kind,
+            vcpus=self.template.vcpus,
+            memory_mb=self.template.memory_mb,
+            relay="fwd",
+            options=dict(self.template.options),
+        )
+        return self.storm.provision_middlebox(self.tenant, spec)
+
+    def _pool_packets(self) -> int:
+        return sum(mb.instance_iface.rx_packets for mb in self.pool)
+
+    def _rebalance(self) -> None:
+        """Assign flows round-robin across the pool via SDN only."""
+        for index, flow in enumerate(self.flows):
+            target = self.pool[index % len(self.pool)]
+            if flow.middleboxes != [target]:
+                self.storm.reconfigure_chain(flow, [target])
+        self.events.append(
+            ScalingEvent(self.storm.sim.now, "rebalance", len(self.pool), 0.0)
+        )
+
+    def assignments(self) -> dict[str, list[str]]:
+        """mb name -> flow volume names (for tests/observability)."""
+        mapping: dict[str, list[str]] = {mb.name: [] for mb in self.pool}
+        for flow in self.flows:
+            for mb in flow.middleboxes:
+                mapping.setdefault(mb.name, []).append(flow.volume_name)
+        return mapping
+
+    # -- the control loop -----------------------------------------------------
+
+    def run(self, duration: Optional[float] = None):
+        """Process: sample load every ``check_interval``; scale."""
+        sim = self.storm.sim
+        if not self.pool:
+            self.pool.append(self._provision_clone())
+            self._rebalance()
+        self._last_packet_count = self._pool_packets()
+        deadline = None if duration is None else sim.now + duration
+        while not self.stopped and (deadline is None or sim.now < deadline):
+            yield sim.timeout(self.check_interval)
+            total = self._pool_packets()
+            rate = (total - self._last_packet_count) / self.check_interval
+            self._last_packet_count = total
+            per_box = rate / len(self.pool)
+            if per_box > self.high_watermark and len(self.pool) < self.max_size:
+                self.pool.append(self._provision_clone())
+                self.events.append(
+                    ScalingEvent(sim.now, "grow", len(self.pool), per_box)
+                )
+                self._rebalance()
+            elif per_box < self.low_watermark and len(self.pool) > self.min_size:
+                self.pool.pop()
+                self.events.append(
+                    ScalingEvent(sim.now, "shrink", len(self.pool), per_box)
+                )
+                self._rebalance()
+        return self.events
+
+    def stop(self) -> None:
+        self.stopped = True

@@ -1,0 +1,148 @@
+"""Network splicing: storage gateways and the attach-time NAT rules.
+
+A pair of per-tenant gateways bridges the isolated storage and
+instance networks (paper §III-A): the *ingress* gateway pulls a flow
+from the storage network into the tenant's virtual network, the
+*egress* gateway returns it to the storage server.  IP masquerading on
+both keeps storage-network addresses from ever appearing on the
+instance network, and makes middle-boxes see only gateway addresses.
+
+The NAT rules are *transient*: they exist only during the atomic
+volume attach (installed → connect → removed), and the established
+flow survives on conntrack — exactly the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.compute import ComputeHost
+from repro.cloud.controller import CloudController
+from repro.cloud.tenant import Tenant
+from repro.iscsi.pdu import ISCSI_PORT
+from repro.net.nat import NatRule
+from repro.net.stack import Node
+from repro.sim import Simulator
+
+
+class StorageGateway(Node):
+    """A dual-homed forwarding VM inside the tenant's network space."""
+
+    def __init__(self, sim: Simulator, name: str, tenant: Tenant):
+        super().__init__(sim, name)
+        self.tenant = tenant
+        self.host_name: str | None = None
+
+    @property
+    def storage_iface(self):
+        return self._iface_by_prefix("st")
+
+    @property
+    def instance_iface(self):
+        return self._iface_by_prefix("inst")
+
+    def _iface_by_prefix(self, prefix: str):
+        for iface in self.interfaces:
+            if iface.name.split(".")[-1].startswith(prefix):
+                return iface
+        raise RuntimeError(f"gateway {self.name} missing {prefix!r} interface")
+
+    @property
+    def storage_ip(self) -> str:
+        return self.storage_iface.ip
+
+    @property
+    def instance_ip(self) -> str:
+        return self.instance_iface.ip
+
+    @property
+    def instance_mac(self) -> str:
+        return self.instance_iface.mac
+
+
+@dataclass
+class GatewayPair:
+    ingress: StorageGateway
+    egress: StorageGateway
+
+
+def create_gateway(
+    cloud: CloudController,
+    tenant: Tenant,
+    name: str,
+    host: ComputeHost,
+) -> StorageGateway:
+    """Provision one gateway VM on ``host`` with NICs in both networks."""
+    gateway = StorageGateway(cloud.sim, name, tenant)
+    gateway.host_name = host.name
+    cloud.plug_instance_iface(gateway, host, tenant)
+    cloud.plug_storage_iface(gateway)
+    gateway.stack.ip_forward = True
+    gateway.stack.forward_delay = cloud.params.gateway_forward_delay
+    return gateway
+
+
+def create_gateway_pair(
+    cloud: CloudController,
+    tenant: Tenant,
+    ingress_host: ComputeHost,
+    egress_host: ComputeHost,
+) -> GatewayPair:
+    ingress = create_gateway(cloud, tenant, f"sgw-in-{tenant.name}", ingress_host)
+    egress = create_gateway(cloud, tenant, f"sgw-out-{tenant.name}", egress_host)
+    return GatewayPair(ingress, egress)
+
+
+def install_attach_nat(
+    host: ComputeHost,
+    gateways: GatewayPair,
+    target_ip: str,
+    cookie: str,
+    port: int = ISCSI_PORT,
+) -> None:
+    """Install the three transient NAT rules for one volume attach.
+
+    - on the VM's host: redirect the new connection to the ingress
+      gateway (OUTPUT, 3-tuple match — hence the mutex);
+    - on the ingress gateway: masquerade into the instance network and
+      point the flow at the egress gateway;
+    - on the egress gateway: masquerade back into the storage network
+      and restore the true target address.
+    """
+    host.stack.nat.install(
+        NatRule(
+            match_dst_ip=target_ip,
+            match_dst_port=port,
+            dnat_ip=gateways.ingress.storage_ip,
+            hook="output",
+            cookie=cookie,
+        )
+    )
+    gateways.ingress.stack.nat.install(
+        NatRule(
+            match_dst_ip=gateways.ingress.storage_ip,
+            match_dst_port=port,
+            snat_ip=gateways.ingress.instance_ip,
+            dnat_ip=gateways.egress.instance_ip,
+            hook="prerouting",
+            cookie=cookie,
+        )
+    )
+    gateways.egress.stack.nat.install(
+        NatRule(
+            match_dst_ip=gateways.egress.instance_ip,
+            match_dst_port=port,
+            snat_ip=gateways.egress.storage_ip,
+            dnat_ip=target_ip,
+            hook="prerouting",
+            cookie=cookie,
+        )
+    )
+
+
+def remove_attach_nat(host: ComputeHost, gateways: GatewayPair, cookie: str) -> int:
+    """Remove the transient rules; established flows keep their conntrack."""
+    removed = host.stack.nat.remove_by_cookie(cookie)
+    removed += gateways.ingress.stack.nat.remove_by_cookie(cookie)
+    removed += gateways.egress.stack.nat.remove_by_cookie(cookie)
+    return removed

@@ -1,0 +1,134 @@
+"""SDN flow steering (paper §III-A, Fig. 3).
+
+Chains are composed from forwarding units {previous hop, middle-box,
+next hop}: at each emitting hop's virtual switch, a rule matching the
+flow's (src MAC, dst MAC, ports) rewrites the destination MAC to the
+next middle-box, then falls through to L2 forwarding.  The same rule
+set serves all relay modes: in active-relay mode, the reverse-path
+rules simply never match (each split connection's replies are
+addressed to their own previous hop directly).
+
+During an atomic attach the source port is not yet known, so the
+rules are first installed with the port wildcarded (safe under the
+attach mutex) and *narrowed* to the attributed 4-tuple afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.middlebox import MiddleBox
+from repro.core.splicing import GatewayPair
+from repro.iscsi.pdu import ISCSI_PORT
+from repro.net.sdn import SdnController
+from repro.net.switch import FlowRule, ModDstMac
+
+WILDCARD_PRIORITY = 10
+NARROWED_PRIORITY = 20
+
+
+def _ovs_name(host_name: str) -> str:
+    return f"ovs-{host_name}"
+
+
+def build_chain_rules(
+    gateways: GatewayPair,
+    middleboxes: list[MiddleBox],
+    cookie: str,
+    src_port: Optional[int] = None,
+    service_port: int = ISCSI_PORT,
+) -> list[tuple[str, FlowRule]]:
+    """Fig. 3 rule set for one flow through ``middleboxes`` in order."""
+    if not middleboxes:
+        return []
+    priority = NARROWED_PRIORITY if src_port is not None else WILDCARD_PRIORITY
+    ingress_mac = gateways.ingress.instance_mac
+    egress_mac = gateways.egress.instance_mac
+    rules: list[tuple[str, FlowRule]] = []
+
+    # forward path: ingress -> mb1 -> ... -> mbN -> egress
+    prev_mac = ingress_mac
+    prev_switch = _ovs_name(gateways.ingress.host_name)
+    for mb in middleboxes:
+        rules.append(
+            (
+                prev_switch,
+                FlowRule(
+                    priority=priority,
+                    src_mac=prev_mac,
+                    dst_mac=egress_mac,
+                    src_port=src_port,
+                    dst_port=service_port,
+                    actions=[ModDstMac(mb.mac)],
+                    cookie=cookie,
+                ),
+            )
+        )
+        prev_mac = mb.mac
+        prev_switch = _ovs_name(mb.host_name)
+
+    # reverse path: egress -> mbN -> ... -> mb1 -> ingress
+    prev_mac = egress_mac
+    prev_switch = _ovs_name(gateways.egress.host_name)
+    for mb in reversed(middleboxes):
+        rules.append(
+            (
+                prev_switch,
+                FlowRule(
+                    priority=priority,
+                    src_mac=prev_mac,
+                    dst_mac=ingress_mac,
+                    src_port=service_port,
+                    dst_port=src_port,
+                    actions=[ModDstMac(mb.mac)],
+                    cookie=cookie,
+                ),
+            )
+        )
+        prev_mac = mb.mac
+        prev_switch = _ovs_name(mb.host_name)
+
+    return rules
+
+
+@dataclass
+class SteeringChain:
+    """Installed steering state for one flow, with narrow/teardown."""
+
+    sdn: SdnController
+    gateways: GatewayPair
+    middleboxes: list[MiddleBox]
+    cookie: str
+    src_port: Optional[int] = None
+    service_port: int = ISCSI_PORT
+    installed: bool = field(default=False)
+
+    def install(self, src_port: Optional[int] = None) -> int:
+        """Install rules (wildcard if ``src_port`` is None)."""
+        self.src_port = src_port
+        rules = build_chain_rules(
+            self.gateways, self.middleboxes, self.cookie, src_port, self.service_port
+        )
+        for switch_name, rule in rules:
+            self.sdn.install_rule(switch_name, rule)
+        self.installed = True
+        return len(rules)
+
+    def narrow(self, src_port: int) -> None:
+        """Replace wildcard rules with 4-tuple rules, atomically."""
+        self.remove()
+        self.install(src_port)
+
+    def remove(self) -> int:
+        removed = self.sdn.remove_by_cookie(self.cookie)
+        self.installed = False
+        return removed
+
+    def reconfigure(self, middleboxes: list[MiddleBox]) -> None:
+        """Swap the middle-box chain of an existing flow (paper §III-A,
+        on-demand scaling).  Only valid for forwarding-mode chains —
+        active relays hold per-flow TCP state that cannot be migrated."""
+        self.remove()
+        self.middleboxes = list(middleboxes)
+        self.install(self.src_port)

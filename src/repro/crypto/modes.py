@@ -1,0 +1,76 @@
+"""Block cipher modes of operation.
+
+CTR with an offset-derived counter is what the encryption middle-box
+uses: any 16-byte-aligned byte range of the volume can be encrypted or
+decrypted independently, which is the property a block device needs
+(dm-crypt achieves the same with per-sector IVs).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES
+
+BLOCK = 16
+
+
+def _check_aligned(data: bytes) -> None:
+    if len(data) % BLOCK:
+        raise ValueError(f"data length {len(data)} is not a multiple of {BLOCK}")
+
+
+def ecb_encrypt(cipher: AES, data: bytes) -> bytes:
+    _check_aligned(data)
+    return b"".join(
+        cipher.encrypt_block(data[i : i + BLOCK]) for i in range(0, len(data), BLOCK)
+    )
+
+
+def ecb_decrypt(cipher: AES, data: bytes) -> bytes:
+    _check_aligned(data)
+    return b"".join(
+        cipher.decrypt_block(data[i : i + BLOCK]) for i in range(0, len(data), BLOCK)
+    )
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, data: bytes) -> bytes:
+    _check_aligned(data)
+    if len(iv) != BLOCK:
+        raise ValueError("IV must be 16 bytes")
+    out = []
+    previous = iv
+    for i in range(0, len(data), BLOCK):
+        block = bytes(a ^ b for a, b in zip(data[i : i + BLOCK], previous))
+        previous = cipher.encrypt_block(block)
+        out.append(previous)
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, data: bytes) -> bytes:
+    _check_aligned(data)
+    if len(iv) != BLOCK:
+        raise ValueError("IV must be 16 bytes")
+    out = []
+    previous = iv
+    for i in range(0, len(data), BLOCK):
+        block = data[i : i + BLOCK]
+        plain = cipher.decrypt_block(block)
+        out.append(bytes(a ^ b for a, b in zip(plain, previous)))
+        previous = block
+    return b"".join(out)
+
+
+def ctr_transform(cipher: AES, data: bytes, start_counter: int = 0) -> bytes:
+    """Encrypt/decrypt (self-inverse) with counter blocks.
+
+    ``start_counter`` is the index of the first 16-byte block — pass
+    ``byte_offset // 16`` to get position-dependent, random-access
+    keystream over a volume.
+    """
+    _check_aligned(data)
+    out = bytearray(len(data))
+    for i in range(0, len(data), BLOCK):
+        counter = (start_counter + i // BLOCK).to_bytes(BLOCK, "big")
+        keystream = cipher.encrypt_block(counter)
+        for j in range(BLOCK):
+            out[i + j] = data[i + j] ^ keystream[j]
+    return bytes(out)

@@ -1,0 +1,41 @@
+"""Ext-like filesystem substrate.
+
+A from-scratch simplified ext2/3/4-family filesystem that stores real
+bytes on a simulated block device: superblock, block groups with block/
+inode bitmaps and inode tables, direct+indirect block pointers, and
+packed directory entries.
+
+Tenant VMs run this filesystem over their iSCSI sessions, so every
+file operation turns into genuine block-level reads/writes on the
+wire — the traffic StorM's semantics reconstruction (paper §III-C)
+must map back to files.  :mod:`repro.fs.view` is the ``dumpe2fs``
+equivalent used to seed the reconstruction.
+"""
+
+from repro.fs.layout import BLOCK_SIZE, INODE_SIZE, SuperBlock
+from repro.fs.inode import Inode, MODE_DIR, MODE_FILE, MODE_FREE, MODE_SYMLINK
+from repro.fs.device import GeneratorDevice, SessionDevice, VolumeDevice
+from repro.fs.extfs import ExtFilesystem, FsError
+from repro.fs.fsck import FsckReport, fsck
+from repro.fs.view import BlockClass, FilesystemView, dump_layout
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockClass",
+    "ExtFilesystem",
+    "FilesystemView",
+    "FsError",
+    "FsckReport",
+    "GeneratorDevice",
+    "fsck",
+    "INODE_SIZE",
+    "Inode",
+    "MODE_DIR",
+    "MODE_FILE",
+    "MODE_FREE",
+    "MODE_SYMLINK",
+    "SessionDevice",
+    "SuperBlock",
+    "VolumeDevice",
+    "dump_layout",
+]

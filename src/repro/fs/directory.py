@@ -1,0 +1,53 @@
+"""Directory entry serialization.
+
+A directory's data blocks hold a packed run of entries::
+
+    u32 inode | u16 name_len | name bytes (utf-8)
+
+terminated by a zero inode with zero name length.  Names are limited
+to 255 bytes like ext.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.fs.layout import BLOCK_SIZE
+
+MAX_NAME = 255
+_ENTRY_HEADER = struct.Struct("<IH")
+
+
+def pack_dirents(entries: list[tuple[str, int]]) -> bytes:
+    """Serialize (name, inode) pairs into one directory block."""
+    chunks = []
+    for name, ino in entries:
+        encoded = name.encode("utf-8")
+        if not encoded or len(encoded) > MAX_NAME:
+            raise ValueError(f"bad directory entry name {name!r}")
+        chunks.append(_ENTRY_HEADER.pack(ino, len(encoded)) + encoded)
+    raw = b"".join(chunks) + _ENTRY_HEADER.pack(0, 0)
+    if len(raw) > BLOCK_SIZE:
+        raise ValueError("directory block overflow")
+    return raw.ljust(BLOCK_SIZE, b"\x00")
+
+
+def unpack_dirents(raw: bytes) -> list[tuple[str, int]]:
+    """Parse a directory block back into (name, inode) pairs."""
+    entries = []
+    offset = 0
+    while offset + _ENTRY_HEADER.size <= len(raw):
+        ino, name_len = _ENTRY_HEADER.unpack_from(raw, offset)
+        if ino == 0:
+            break
+        offset += _ENTRY_HEADER.size
+        name = raw[offset : offset + name_len].decode("utf-8")
+        entries.append((name, ino))
+        offset += name_len
+    return entries
+
+
+def entries_fit(entries: list[tuple[str, int]]) -> bool:
+    """Whether the given entries fit into one directory block."""
+    needed = sum(_ENTRY_HEADER.size + len(n.encode("utf-8")) for n, _ in entries)
+    return needed + _ENTRY_HEADER.size <= BLOCK_SIZE

@@ -1,0 +1,577 @@
+"""The ext-like filesystem proper.
+
+All operations are simulation processes (generators) that issue real
+block I/O through a device adapter, so a mounted filesystem over an
+iSCSI session generates exactly the wire traffic the paper's
+middle-boxes observe: inode-table reads, directory block reads,
+bitmap/inode/dirent writes, and data block transfers.
+
+An optional *write-back* mode buffers file data blocks and flushes
+them later, reproducing the paper's Table I observation that "the
+write operations may delay all the read operations" in the block
+trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.directory import entries_fit, pack_dirents, unpack_dirents
+from repro.fs.inode import (
+    DIRECT_POINTERS,
+    Inode,
+    MAX_FILE_SIZE,
+    MODE_DIR,
+    MODE_FILE,
+    MODE_FREE,
+    MODE_SYMLINK,
+    POINTERS_PER_BLOCK,
+    pack_indirect_block,
+    unpack_indirect_block,
+)
+from repro.fs.layout import BLOCK_SIZE, ROOT_INODE, SuperBlock, choose_geometry
+from repro.sim import Simulator
+
+
+class FsError(Exception):
+    """Filesystem-level error (missing path, exists, no space...)."""
+
+
+def split_path(path: str) -> list[str]:
+    parts = [p for p in path.split("/") if p]
+    if not parts and path != "/":
+        raise FsError(f"bad path {path!r}")
+    return parts
+
+
+class ExtFilesystem:
+    """A mounted instance over one block device adapter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device,
+        writeback: bool = False,
+        page_cache: bool = False,
+    ):
+        """``writeback`` buffers file-data writes until :meth:`flush`.
+        ``page_cache`` goes further, modelling a guest page cache: *all*
+        writes (metadata included) are buffered and *all* reads are
+        served from cache when possible — operations become CPU-bound,
+        which is the regime of the paper's PostMark experiment."""
+        self.sim = sim
+        self.device = device
+        self.writeback = writeback or page_cache
+        self.page_cache = page_cache
+        self._data_cache: dict[int, bytes] = {}
+        self.sb: Optional[SuperBlock] = None
+        self._meta_cache: dict[int, bytes] = {}
+        self._block_bitmaps: dict[int, bytearray] = {}
+        self._inode_bitmaps: dict[int, bytearray] = {}
+        self._alloc_cursor: dict[int, int] = {}
+        self._pending_data: list[tuple[int, bytes]] = []
+        self._pending_index: dict[int, bytes] = {}
+        self.op_log: list[tuple] = []
+        self.mounted = False
+
+    # ------------------------------------------------------------------
+    # mkfs (offline, synchronous — runs on the storage side like mkfs.ext4)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def mkfs(cls, volume, mtime: float = 0.0) -> SuperBlock:
+        total_blocks = volume.size // BLOCK_SIZE
+        sb = choose_geometry(total_blocks)
+        volume.write_sync(0, sb.pack())
+        # root directory: inode 2 with one (empty) directory data block
+        root_block = sb.data_start(0)
+        root = Inode(mode=MODE_DIR, links=1, size=BLOCK_SIZE, mtime=mtime)
+        root.direct[0] = root_block
+        table_block, offset = sb.inode_location(ROOT_INODE)
+        table_raw = bytearray(BLOCK_SIZE)
+        table_raw[offset : offset + len(root.pack())] = root.pack()
+        volume.write_sync(table_block * BLOCK_SIZE, bytes(table_raw))
+        volume.write_sync(root_block * BLOCK_SIZE, pack_dirents([]))
+        # bitmaps: mark root data block and inodes 1+2 used
+        block_bitmap = bytearray(BLOCK_SIZE)
+        _set_bit(block_bitmap, root_block - sb.group_start(0))
+        volume.write_sync(sb.block_bitmap_block(0) * BLOCK_SIZE, bytes(block_bitmap))
+        inode_bitmap = bytearray(BLOCK_SIZE)
+        _set_bit(inode_bitmap, 0)
+        _set_bit(inode_bitmap, 1)
+        volume.write_sync(sb.inode_bitmap_block(0) * BLOCK_SIZE, bytes(inode_bitmap))
+        return sb
+
+    # ------------------------------------------------------------------
+    # mount & raw block access
+    # ------------------------------------------------------------------
+
+    def mount(self):
+        raw = yield self.device.read_block(0)
+        self.sb = SuperBlock.unpack(raw)
+        yield from self._load_group(0)
+        self.mounted = True
+        return self.sb
+
+    def _require_mounted(self) -> None:
+        if not self.mounted:
+            raise FsError("filesystem not mounted")
+
+    def _read_block(self, block_no: int, meta: bool):
+        if block_no in self._pending_index:
+            return self._pending_index[block_no]
+        if meta and block_no in self._meta_cache:
+            return self._meta_cache[block_no]
+        if self.page_cache and block_no in self._data_cache:
+            return self._data_cache[block_no]
+        raw = yield self.device.read_block(block_no)
+        if meta:
+            self._meta_cache[block_no] = raw
+        elif self.page_cache:
+            self._data_cache[block_no] = raw
+        return raw
+
+    def _write_block(self, block_no: int, data: bytes, meta: bool):
+        if meta:
+            self._meta_cache[block_no] = data
+            if self.page_cache:
+                self._buffer_write(block_no, data)
+                return
+            yield self.device.write_block(block_no, data)
+            return
+        if self.page_cache:
+            self._data_cache[block_no] = data
+        if self.writeback:
+            self._buffer_write(block_no, data)
+            return
+        yield self.device.write_block(block_no, data)
+
+    def _buffer_write(self, block_no: int, data: bytes) -> None:
+        if block_no in self._pending_index:
+            self._pending_data = [(b, d) for b, d in self._pending_data if b != block_no]
+        self._pending_data.append((block_no, data))
+        self._pending_index[block_no] = data
+
+    def flush(self):
+        """Drain buffered data writes (write-back mode) in FIFO order."""
+        pending, self._pending_data = self._pending_data, []
+        self._pending_index = {}
+        for block_no, data in pending:
+            yield self.device.write_block(block_no, data)
+        return len(pending)
+
+    def drop_caches(self) -> None:
+        self._meta_cache.clear()
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def _load_group(self, group: int):
+        if group in self._block_bitmaps:
+            return
+        raw = yield from self._read_block(self.sb.block_bitmap_block(group), meta=True)
+        self._block_bitmaps[group] = bytearray(raw)
+        raw = yield from self._read_block(self.sb.inode_bitmap_block(group), meta=True)
+        self._inode_bitmaps[group] = bytearray(raw)
+        self._alloc_cursor.setdefault(group, 0)
+
+    def _alloc_block(self):
+        sb = self.sb
+        for group in range(sb.num_groups):
+            yield from self._load_group(group)
+            bitmap = self._block_bitmaps[group]
+            first_data = sb.data_start(group) - sb.group_start(group)
+            limit = min(sb.blocks_per_group, sb.total_blocks - sb.group_start(group))
+            start = max(first_data, self._alloc_cursor[group])
+            for index in list(range(start, limit)) + list(range(first_data, start)):
+                if not _get_bit(bitmap, index):
+                    _set_bit(bitmap, index)
+                    self._alloc_cursor[group] = index + 1
+                    yield from self._write_block(
+                        sb.block_bitmap_block(group), bytes(bitmap), meta=True
+                    )
+                    return sb.group_start(group) + index
+        raise FsError("no free blocks")
+
+    def _free_block(self, block_no: int):
+        sb = self.sb
+        group = sb.group_of_block(block_no)
+        yield from self._load_group(group)
+        bitmap = self._block_bitmaps[group]
+        _clear_bit(bitmap, block_no - sb.group_start(group))
+        yield from self._write_block(sb.block_bitmap_block(group), bytes(bitmap), meta=True)
+
+    def _alloc_inode(self):
+        sb = self.sb
+        for group in range(sb.num_groups):
+            yield from self._load_group(group)
+            bitmap = self._inode_bitmaps[group]
+            for index in range(sb.inodes_per_group):
+                if not _get_bit(bitmap, index):
+                    _set_bit(bitmap, index)
+                    yield from self._write_block(
+                        sb.inode_bitmap_block(group), bytes(bitmap), meta=True
+                    )
+                    return group * sb.inodes_per_group + index + 1
+        raise FsError("no free inodes")
+
+    def _free_inode(self, ino: int):
+        sb = self.sb
+        group = sb.group_of_inode(ino)
+        yield from self._load_group(group)
+        bitmap = self._inode_bitmaps[group]
+        _clear_bit(bitmap, (ino - 1) % sb.inodes_per_group)
+        yield from self._write_block(sb.inode_bitmap_block(group), bytes(bitmap), meta=True)
+
+    # ------------------------------------------------------------------
+    # inode I/O
+    # ------------------------------------------------------------------
+
+    def _read_inode(self, ino: int):
+        block_no, offset = self.sb.inode_location(ino)
+        raw = yield from self._read_block(block_no, meta=True)
+        return Inode.unpack(raw[offset : offset + 256])
+
+    def _write_inode(self, ino: int, inode: Inode):
+        block_no, offset = self.sb.inode_location(ino)
+        raw = yield from self._read_block(block_no, meta=True)
+        updated = bytearray(raw)
+        packed = inode.pack()
+        updated[offset : offset + len(packed)] = packed
+        yield from self._write_block(block_no, bytes(updated), meta=True)
+
+    def _file_blocks(self, inode: Inode):
+        """All data block numbers of a file, in order."""
+        blocks = [b for b in inode.direct[: inode.block_count] if b]
+        if inode.block_count > DIRECT_POINTERS and inode.indirect:
+            raw = yield from self._read_block(inode.indirect, meta=True)
+            pointers = unpack_indirect_block(raw)
+            blocks.extend(
+                p for p in pointers[: inode.block_count - DIRECT_POINTERS] if p
+            )
+        return blocks
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+
+    def _lookup(self, parent_inode: Inode, name: str):
+        """Find ``name`` in a directory; returns (ino, dir_block_no) or None."""
+        blocks = yield from self._file_blocks(parent_inode)
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=True)
+            for entry_name, ino in unpack_dirents(raw):
+                if entry_name == name:
+                    return ino, block_no
+        return None
+
+    def _resolve(self, path: str, follow_symlinks: bool = True):
+        parts = split_path(path)
+        ino = ROOT_INODE
+        inode = yield from self._read_inode(ino)
+        for depth, part in enumerate(parts):
+            if not inode.is_dir:
+                raise FsError(f"not a directory on the way to {path!r}")
+            hit = yield from self._lookup(inode, part)
+            if hit is None:
+                raise FsError(f"no such file or directory: {path!r}")
+            ino, _ = hit
+            inode = yield from self._read_inode(ino)
+            if inode.is_symlink and (follow_symlinks or depth < len(parts) - 1):
+                target = yield from self._read_symlink_target(inode)
+                resolved = yield from self._resolve(target)
+                ino, inode = resolved
+        return ino, inode
+
+    def _resolve_parent(self, path: str):
+        parts = split_path(path)
+        if not parts:
+            raise FsError("cannot operate on /")
+        parent_path = "/" + "/".join(parts[:-1])
+        if parent_path == "/":
+            ino = ROOT_INODE
+            inode = yield from self._read_inode(ino)
+        else:
+            ino, inode = yield from self._resolve(parent_path)
+        if not inode.is_dir:
+            raise FsError(f"parent of {path!r} is not a directory")
+        return ino, inode, parts[-1]
+
+    def _read_symlink_target(self, inode: Inode):
+        raw = yield from self._read_block(inode.direct[0], meta=True)
+        return raw[: inode.size].decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # directory modification helpers
+    # ------------------------------------------------------------------
+
+    def _add_dirent(self, dir_ino: int, dir_inode: Inode, name: str, child_ino: int):
+        blocks = yield from self._file_blocks(dir_inode)
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=True)
+            entries = unpack_dirents(raw)
+            if any(n == name for n, _ in entries):
+                raise FsError(f"{name!r} already exists")
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=True)
+            entries = unpack_dirents(raw)
+            if entries_fit(entries + [(name, child_ino)]):
+                entries.append((name, child_ino))
+                yield from self._write_block(block_no, pack_dirents(entries), meta=True)
+                return
+        # grow the directory by one block
+        new_block = yield from self._alloc_block()
+        index = dir_inode.block_count
+        if index >= DIRECT_POINTERS:
+            raise FsError("directory too large")
+        dir_inode.direct[index] = new_block
+        dir_inode.size += BLOCK_SIZE
+        dir_inode.mtime = self.sim.now
+        yield from self._write_block(new_block, pack_dirents([(name, child_ino)]), meta=True)
+        yield from self._write_inode(dir_ino, dir_inode)
+
+    def _remove_dirent(self, dir_inode: Inode, name: str):
+        blocks = yield from self._file_blocks(dir_inode)
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=True)
+            entries = unpack_dirents(raw)
+            remaining = [(n, i) for n, i in entries if n != name]
+            if len(remaining) != len(entries):
+                yield from self._write_block(block_no, pack_dirents(remaining), meta=True)
+                return
+        raise FsError(f"no such entry {name!r}")
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+
+    def mkdir(self, path: str):
+        self._require_mounted()
+        parent_ino, parent_inode, name = yield from self._resolve_parent(path)
+        ino = yield from self._alloc_inode()
+        data_block = yield from self._alloc_block()
+        inode = Inode(mode=MODE_DIR, links=1, size=BLOCK_SIZE, mtime=self.sim.now)
+        inode.direct[0] = data_block
+        yield from self._write_block(data_block, pack_dirents([]), meta=True)
+        yield from self._write_inode(ino, inode)
+        yield from self._add_dirent(parent_ino, parent_inode, name, ino)
+        self.op_log.append(("mkdir", path))
+        return ino
+
+    def create(self, path: str):
+        """Create an empty regular file."""
+        self._require_mounted()
+        parent_ino, parent_inode, name = yield from self._resolve_parent(path)
+        ino = yield from self._alloc_inode()
+        inode = Inode(mode=MODE_FILE, links=1, size=0, mtime=self.sim.now)
+        yield from self._write_inode(ino, inode)
+        yield from self._add_dirent(parent_ino, parent_inode, name, ino)
+        self.op_log.append(("create", path))
+        return ino
+
+    def symlink(self, target: str, path: str):
+        self._require_mounted()
+        parent_ino, parent_inode, name = yield from self._resolve_parent(path)
+        ino = yield from self._alloc_inode()
+        data_block = yield from self._alloc_block()
+        encoded = target.encode("utf-8")
+        inode = Inode(mode=MODE_SYMLINK, links=1, size=len(encoded), mtime=self.sim.now)
+        inode.direct[0] = data_block
+        yield from self._write_block(data_block, encoded.ljust(BLOCK_SIZE, b"\x00"), meta=True)
+        yield from self._write_inode(ino, inode)
+        yield from self._add_dirent(parent_ino, parent_inode, name, ino)
+        self.op_log.append(("symlink", target, path))
+        return ino
+
+    def write_file(self, path: str, data: Optional[bytes] = None, size: Optional[int] = None):
+        """Write/overwrite a file's content (creates it if missing)."""
+        self._require_mounted()
+        if data is None:
+            if size is None:
+                raise FsError("write_file needs data or size")
+            data = b"\x00" * size
+        if len(data) > MAX_FILE_SIZE:
+            raise FsError(f"file too large ({len(data)} > {MAX_FILE_SIZE})")
+        try:
+            ino, inode = yield from self._resolve(path)
+        except FsError:
+            ino = yield from self.create(path)
+            inode = yield from self._read_inode(ino)
+        if not inode.is_file:
+            raise FsError(f"{path!r} is not a regular file")
+        yield from self._truncate(inode)
+        yield from self._write_content(ino, inode, data, base_index=0)
+        self.op_log.append(("write", path, len(data)))
+        return len(data)
+
+    def append_file(self, path: str, data: bytes):
+        """Append to an existing file (must currently be block-aligned)."""
+        self._require_mounted()
+        ino, inode = yield from self._resolve(path)
+        if not inode.is_file:
+            raise FsError(f"{path!r} is not a regular file")
+        if inode.size % BLOCK_SIZE:
+            raise FsError("append requires block-aligned current size")
+        if inode.size + len(data) > MAX_FILE_SIZE:
+            raise FsError("file would exceed maximum size")
+        yield from self._write_content(ino, inode, data, base_index=inode.block_count)
+        self.op_log.append(("append", path, len(data)))
+        return inode.size
+
+    def _write_content(self, ino: int, inode: Inode, data: bytes, base_index: int):
+        block_count = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+        indirect_pointers = None
+        if inode.indirect:
+            raw = yield from self._read_block(inode.indirect, meta=True)
+            indirect_pointers = unpack_indirect_block(raw)
+        for i in range(block_count):
+            block_no = yield from self._alloc_block()
+            index = base_index + i
+            if index < DIRECT_POINTERS:
+                inode.direct[index] = block_no
+            else:
+                if inode.indirect == 0:
+                    inode.indirect = yield from self._alloc_block()
+                    indirect_pointers = [0] * POINTERS_PER_BLOCK
+                indirect_pointers[index - DIRECT_POINTERS] = block_no
+            chunk = data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE].ljust(BLOCK_SIZE, b"\x00")
+            yield from self._write_block(block_no, chunk, meta=False)
+        inode.size = base_index * BLOCK_SIZE + len(data)
+        inode.mtime = self.sim.now
+        # metadata after data-block buffering: inode (and indirect) flushed
+        # immediately so the wire sees metadata before buffered data
+        if inode.indirect and indirect_pointers is not None:
+            yield from self._write_block(
+                inode.indirect, pack_indirect_block(indirect_pointers), meta=True
+            )
+        yield from self._write_inode(ino, inode)
+
+    def _truncate(self, inode: Inode):
+        blocks = yield from self._file_blocks(inode)
+        for block_no in blocks:
+            yield from self._free_block(block_no)
+        if inode.indirect:
+            yield from self._free_block(inode.indirect)
+        inode.direct = [0] * DIRECT_POINTERS
+        inode.indirect = 0
+        inode.size = 0
+
+    def overwrite_file(self, path: str, data: bytes, offset: int = 0):
+        """Write into a file's *existing* blocks in place (no
+        reallocation) — like ``dd conv=notrunc`` into a file."""
+        self._require_mounted()
+        if offset % BLOCK_SIZE:
+            raise FsError("overwrite offset must be block-aligned")
+        ino, inode = yield from self._resolve(path)
+        if not inode.is_file:
+            raise FsError(f"{path!r} is not a regular file")
+        if offset + len(data) > inode.block_count * BLOCK_SIZE:
+            raise FsError("overwrite beyond the file's allocated blocks")
+        blocks = yield from self._file_blocks(inode)
+        first = offset // BLOCK_SIZE
+        for i in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
+            chunk = data[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE].ljust(BLOCK_SIZE, b"\x00")
+            yield from self._write_block(blocks[first + i], chunk, meta=False)
+        inode.mtime = self.sim.now
+        yield from self._write_inode(ino, inode)
+        self.op_log.append(("overwrite", path, len(data)))
+
+    def read_file(self, path: str):
+        self._require_mounted()
+        ino, inode = yield from self._resolve(path)
+        if inode.is_symlink:
+            target = yield from self._read_symlink_target(inode)
+            ino, inode = yield from self._resolve(target)
+        if not inode.is_file:
+            raise FsError(f"{path!r} is not a regular file")
+        blocks = yield from self._file_blocks(inode)
+        chunks = []
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=False)
+            chunks.append(raw)
+        self.op_log.append(("read", path, inode.size))
+        return b"".join(chunks)[: inode.size]
+
+    def unlink(self, path: str):
+        self._require_mounted()
+        parent_ino, parent_inode, name = yield from self._resolve_parent(path)
+        hit = yield from self._lookup(parent_inode, name)
+        if hit is None:
+            raise FsError(f"no such file: {path!r}")
+        ino, _ = hit
+        inode = yield from self._read_inode(ino)
+        if inode.is_dir:
+            entries = yield from self.listdir(path)
+            if entries:
+                raise FsError(f"directory not empty: {path!r}")
+        yield from self._truncate(inode)
+        inode.mode = MODE_FREE
+        yield from self._write_inode(ino, inode)
+        yield from self._free_inode(ino)
+        yield from self._remove_dirent(parent_inode, name)
+        self.op_log.append(("unlink", path))
+
+    def rename(self, old_path: str, new_path: str):
+        self._require_mounted()
+        old_parent_ino, old_parent, old_name = yield from self._resolve_parent(old_path)
+        hit = yield from self._lookup(old_parent, old_name)
+        if hit is None:
+            raise FsError(f"no such file: {old_path!r}")
+        ino, _ = hit
+        new_parent_ino, new_parent, new_name = yield from self._resolve_parent(new_path)
+        yield from self._add_dirent(new_parent_ino, new_parent, new_name, ino)
+        if (old_parent_ino, old_name) != (new_parent_ino, new_name):
+            if old_parent_ino == new_parent_ino:
+                # re-read: the add may have rewritten the same block
+                refreshed = yield from self._read_inode(old_parent_ino)
+                yield from self._remove_dirent(refreshed, old_name)
+            else:
+                yield from self._remove_dirent(old_parent, old_name)
+        self.op_log.append(("rename", old_path, new_path))
+
+    def listdir(self, path: str):
+        self._require_mounted()
+        if path in ("/", ""):
+            inode = yield from self._read_inode(ROOT_INODE)
+        else:
+            _ino, inode = yield from self._resolve(path)
+        if not inode.is_dir:
+            raise FsError(f"{path!r} is not a directory")
+        blocks = yield from self._file_blocks(inode)
+        names = []
+        for block_no in blocks:
+            raw = yield from self._read_block(block_no, meta=True)
+            names.extend(n for n, _ in unpack_dirents(raw))
+        self.op_log.append(("listdir", path))
+        return names
+
+    def stat(self, path: str):
+        self._require_mounted()
+        if path in ("/", ""):
+            inode = yield from self._read_inode(ROOT_INODE)
+            return ROOT_INODE, inode
+        result = yield from self._resolve(path)
+        return result
+
+    def exists(self, path: str):
+        try:
+            yield from self._resolve(path)
+            return True
+        except FsError:
+            return False
+
+
+# -- bitmap helpers --------------------------------------------------------
+
+
+def _get_bit(bitmap: bytearray, index: int) -> bool:
+    return bool(bitmap[index // 8] & (1 << (index % 8)))
+
+
+def _set_bit(bitmap: bytearray, index: int) -> None:
+    bitmap[index // 8] |= 1 << (index % 8)
+
+
+def _clear_bit(bitmap: bytearray, index: int) -> None:
+    bitmap[index // 8] &= ~(1 << (index % 8))

@@ -1,0 +1,139 @@
+"""Offline filesystem consistency checker (fsck).
+
+Walks a volume and cross-checks the on-disk structures:
+
+- every reachable file/directory/indirect block is marked used in its
+  group's block bitmap, and vice versa (no leaked or doubly-free blocks);
+- no block is referenced by two owners;
+- every directory entry points at an allocated, in-use inode;
+- every in-use inode is reachable from the root;
+- file sizes are consistent with their block counts.
+
+Used by tests to prove the filesystem's invariants hold after
+arbitrary operation sequences, and to detect injected corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.directory import unpack_dirents
+from repro.fs.inode import (
+    DIRECT_POINTERS,
+    Inode,
+    MODE_DIR,
+    MODE_FREE,
+    unpack_indirect_block,
+)
+from repro.fs.layout import BLOCK_SIZE, INODE_SIZE, ROOT_INODE, SuperBlock
+
+
+@dataclass
+class FsckReport:
+    errors: list[str] = field(default_factory=list)
+    inodes_checked: int = 0
+    blocks_referenced: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+
+def fsck(volume) -> FsckReport:
+    """Check one formatted volume; returns a report of inconsistencies."""
+    report = FsckReport()
+    try:
+        sb = SuperBlock.unpack(volume.read_sync(0, BLOCK_SIZE))
+    except ValueError as exc:
+        report.error(f"superblock: {exc}")
+        return report
+
+    def read_block(block_no: int) -> bytes:
+        return volume.read_sync(block_no * BLOCK_SIZE, BLOCK_SIZE)
+
+    def read_inode(ino: int) -> Inode:
+        block_no, offset = sb.inode_location(ino)
+        raw = read_block(block_no)
+        return Inode.unpack(raw[offset : offset + INODE_SIZE])
+
+    def bitmap_bit(bitmap: bytes, index: int) -> bool:
+        return bool(bitmap[index // 8] & (1 << (index % 8)))
+
+    # -- phase 1: walk the tree, collect references ----------------------
+    block_owners: dict[int, int] = {}
+    seen_inodes: set[int] = set()
+
+    def claim(block_no: int, ino: int) -> None:
+        report.blocks_referenced += 1
+        if block_no in block_owners:
+            report.error(
+                f"block {block_no} referenced by both inode "
+                f"{block_owners[block_no]} and inode {ino}"
+            )
+        block_owners[block_no] = ino
+        if not (0 < block_no < sb.total_blocks):
+            report.error(f"inode {ino}: block pointer {block_no} out of range")
+
+    def walk(ino: int, path: str) -> None:
+        if ino in seen_inodes:
+            report.error(f"inode {ino} reached twice (at {path})")
+            return
+        seen_inodes.add(ino)
+        if not (1 <= ino <= sb.max_inodes):
+            report.error(f"directory entry points at invalid inode {ino} ({path})")
+            return
+        inode = read_inode(ino)
+        report.inodes_checked += 1
+        if inode.mode == MODE_FREE:
+            report.error(f"{path}: entry points at a free inode ({ino})")
+            return
+        blocks = [b for b in inode.direct if b]
+        if inode.indirect:
+            claim(inode.indirect, ino)
+            pointers = [p for p in unpack_indirect_block(read_block(inode.indirect)) if p]
+            blocks.extend(pointers)
+        for block_no in blocks:
+            claim(block_no, ino)
+        if len(blocks) < inode.block_count:
+            report.error(
+                f"{path}: size {inode.size} needs {inode.block_count} blocks, "
+                f"only {len(blocks)} referenced"
+            )
+        if inode.mode == MODE_DIR:
+            for block_no in [b for b in inode.direct if b]:
+                for name, child_ino in unpack_dirents(read_block(block_no)):
+                    walk(child_ino, f"{path}/{name}".replace("//", "/"))
+
+    walk(ROOT_INODE, "/")
+
+    # -- phase 2: bitmaps agree with references ---------------------------
+    for group in range(sb.num_groups):
+        bitmap = read_block(sb.block_bitmap_block(group))
+        start = sb.group_start(group)
+        first_data = sb.data_start(group) - start
+        limit = min(sb.blocks_per_group, sb.total_blocks - start)
+        for index in range(first_data, limit):
+            block_no = start + index
+            marked = bitmap_bit(bitmap, index)
+            referenced = block_no in block_owners
+            if referenced and not marked:
+                report.error(f"block {block_no} in use but free in bitmap")
+            elif marked and not referenced:
+                report.error(f"block {block_no} marked used but unreachable (leak)")
+
+    # -- phase 3: inode bitmap agrees with reachability ---------------------
+    for group in range(sb.num_groups):
+        bitmap = read_block(sb.inode_bitmap_block(group))
+        for index in range(sb.inodes_per_group):
+            ino = group * sb.inodes_per_group + index + 1
+            marked = bitmap_bit(bitmap, index)
+            reachable = ino in seen_inodes or ino == 1  # ino 1 reserved
+            if reachable and not marked:
+                report.error(f"inode {ino} reachable but free in bitmap")
+            elif marked and not reachable:
+                report.error(f"inode {ino} allocated but unreachable (orphan)")
+
+    return report

@@ -1,0 +1,109 @@
+"""On-disk layout: superblock and block-group geometry.
+
+Layout (all units = 4 KiB blocks)::
+
+    block 0                  superblock
+    group g (g = 0..G-1) occupies blocks_per_group blocks starting at
+    1 + g*blocks_per_group:
+        +0                   block bitmap (1 block = 32768 blocks tracked)
+        +1                   inode bitmap
+        +2 .. +2+T-1         inode table (T = inodes_per_group/16)
+        +2+T ..              data blocks
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+BLOCK_SIZE = 4096
+INODE_SIZE = 256
+INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE  # 16
+
+MAGIC = b"REPROEXT"
+ROOT_INODE = 2
+
+_SUPERBLOCK_FORMAT = "<8sIIII"
+
+
+@dataclass
+class SuperBlock:
+    total_blocks: int
+    blocks_per_group: int
+    inodes_per_group: int
+    num_groups: int
+    block_size: int = BLOCK_SIZE
+
+    def pack(self) -> bytes:
+        raw = struct.pack(
+            _SUPERBLOCK_FORMAT,
+            MAGIC,
+            self.total_blocks,
+            self.blocks_per_group,
+            self.inodes_per_group,
+            self.num_groups,
+        )
+        return raw.ljust(BLOCK_SIZE, b"\x00")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SuperBlock":
+        magic, total, bpg, ipg, groups = struct.unpack_from(_SUPERBLOCK_FORMAT, raw)
+        if magic != MAGIC:
+            raise ValueError("bad superblock magic — not a repro-ext filesystem")
+        return cls(total, bpg, ipg, groups)
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def inode_table_blocks(self) -> int:
+        return self.inodes_per_group // INODES_PER_BLOCK
+
+    def group_start(self, group: int) -> int:
+        return 1 + group * self.blocks_per_group
+
+    def block_bitmap_block(self, group: int) -> int:
+        return self.group_start(group)
+
+    def inode_bitmap_block(self, group: int) -> int:
+        return self.group_start(group) + 1
+
+    def inode_table_start(self, group: int) -> int:
+        return self.group_start(group) + 2
+
+    def data_start(self, group: int) -> int:
+        return self.inode_table_start(group) + self.inode_table_blocks
+
+    def group_of_block(self, block_no: int) -> int:
+        return (block_no - 1) // self.blocks_per_group
+
+    def group_of_inode(self, ino: int) -> int:
+        return (ino - 1) // self.inodes_per_group
+
+    def inode_location(self, ino: int) -> tuple[int, int]:
+        """(inode table block number, byte offset within the block)."""
+        group = self.group_of_inode(ino)
+        index = (ino - 1) % self.inodes_per_group
+        block = self.inode_table_start(group) + index // INODES_PER_BLOCK
+        offset = (index % INODES_PER_BLOCK) * INODE_SIZE
+        return block, offset
+
+    def first_inode_of_table_block(self, block_no: int) -> int:
+        """Inverse of :meth:`inode_location` for a whole table block."""
+        group = self.group_of_block(block_no)
+        index_base = (block_no - self.inode_table_start(group)) * INODES_PER_BLOCK
+        return group * self.inodes_per_group + index_base + 1
+
+    @property
+    def max_inodes(self) -> int:
+        return self.num_groups * self.inodes_per_group
+
+
+def choose_geometry(total_blocks: int) -> SuperBlock:
+    """Pick sensible group geometry for a device of ``total_blocks``."""
+    if total_blocks < 16:
+        raise ValueError("device too small for a filesystem (needs >= 16 blocks)")
+    blocks_per_group = min(8 * BLOCK_SIZE, total_blocks - 1)  # bitmap coverage cap
+    num_groups = max(1, (total_blocks - 1) // blocks_per_group)
+    # ~1 inode per 4 data blocks, multiple of 16, at least 16
+    inodes_per_group = max(16, (blocks_per_group // 4) // INODES_PER_BLOCK * INODES_PER_BLOCK)
+    return SuperBlock(total_blocks, blocks_per_group, inodes_per_group, num_groups)

@@ -1,0 +1,35 @@
+"""iSCSI protocol substrate.
+
+The paper's clouds speak iSCSI between a host-side initiator (the
+compute node — *not* the VM, which is why connection attribution is
+hard) and per-volume targets on the storage hosts.  This module
+implements the protocol at PDU granularity over :mod:`repro.net.tcp`:
+login sessions (with the hook the paper adds to expose IQN↔port
+mappings), SCSI read/write commands, Data-In, and responses.
+"""
+
+from repro.iscsi.pdu import (
+    BHS_SIZE,
+    DataInPdu,
+    LoginRequestPdu,
+    LoginResponsePdu,
+    ScsiCommandPdu,
+    ScsiResponsePdu,
+    volume_iqn,
+)
+from repro.iscsi.initiator import IscsiInitiator, IscsiSession, SessionDead
+from repro.iscsi.target import IscsiTarget
+
+__all__ = [
+    "BHS_SIZE",
+    "DataInPdu",
+    "IscsiInitiator",
+    "IscsiSession",
+    "IscsiTarget",
+    "LoginRequestPdu",
+    "LoginResponsePdu",
+    "ScsiCommandPdu",
+    "ScsiResponsePdu",
+    "SessionDead",
+    "volume_iqn",
+]

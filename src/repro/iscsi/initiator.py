@@ -1,0 +1,156 @@
+"""Host-side iSCSI initiator.
+
+Runs on the *compute host* (as Open-iSCSI does), so the TCP 4-tuple of
+a storage connection bears host addresses — the obfuscation StorM's
+connection attribution must undo.  ``login_hooks`` is the reproduction
+of the paper's modification to the iSCSI "Login Session" code: it
+exposes the (IQN, source port) pair of every new session.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.iscsi.pdu import (
+    DataInPdu,
+    ISCSI_PORT,
+    LoginRequestPdu,
+    LoginResponsePdu,
+    ScsiCommandPdu,
+    ScsiResponsePdu,
+    next_task_tag,
+)
+from repro.net.stack import NetworkStack
+from repro.net.tcp import EOF, RESET, TcpSocket
+from repro.sim import Event, Simulator
+
+
+class SessionDead(Exception):
+    """The session's TCP connection was reset or closed."""
+
+
+class LoginFailed(Exception):
+    """The target rejected the login (unknown IQN)."""
+
+
+class IscsiSession:
+    """One logged-in connection to one target IQN (one volume)."""
+
+    def __init__(self, sim: Simulator, socket: TcpSocket, target_iqn: str):
+        self.sim = sim
+        self.socket = socket
+        self.target_iqn = target_iqn
+        self.local_port = socket.local_port
+        self.alive = True
+        self._pending: dict[int, dict] = {}
+        sim.process(self._receiver(), name=f"iscsi-rx:{target_iqn}")
+        self.reads_completed = 0
+        self.writes_completed = 0
+
+    # -- I/O interface ------------------------------------------------
+
+    def read(self, offset: int, length: int) -> Event:
+        """Returns an event yielding the read payload bytes (or None)."""
+        return self._issue(ScsiCommandPdu("read", offset, length, next_task_tag()))
+
+    def write(self, offset: int, length: int, data: Optional[bytes] = None) -> Event:
+        """Returns an event that fires when the target acknowledges."""
+        return self._issue(ScsiCommandPdu("write", offset, length, next_task_tag(), data))
+
+    def _issue(self, command: ScsiCommandPdu) -> Event:
+        if not self.alive:
+            raise SessionDead(f"session to {self.target_iqn} is down")
+        done = self.sim.event()
+        self._pending[command.task_tag] = {"event": done, "data": None, "op": command.op}
+        self.socket.send(command, command.wire_size)
+        return done
+
+    def close(self) -> None:
+        self.alive = False
+        self.socket.close()
+
+    def reset(self) -> None:
+        """Abort the session (failure injection)."""
+        self.socket.reset()
+
+    # -- receive path ----------------------------------------------------
+
+    def _receiver(self):
+        while True:
+            got = yield self.socket.recv()
+            if got is RESET or got is EOF:
+                self._fail_all()
+                return
+            pdu, _size = got
+            if isinstance(pdu, DataInPdu):
+                record = self._pending.get(pdu.task_tag)
+                if record is not None:
+                    record["data"] = pdu.data
+            elif isinstance(pdu, ScsiResponsePdu):
+                record = self._pending.pop(pdu.task_tag, None)
+                if record is None:
+                    continue
+                if record["op"] == "read":
+                    self.reads_completed += 1
+                else:
+                    self.writes_completed += 1
+                if pdu.status == "good":
+                    record["event"].succeed(record["data"])
+                else:
+                    record["event"].fail(SessionDead(f"I/O error: {pdu.status}"))
+
+    def _fail_all(self) -> None:
+        self.alive = False
+        pending, self._pending = self._pending, {}
+        for record in pending.values():
+            if not record["event"].triggered:
+                record["event"].fail(SessionDead("connection lost"))
+
+
+class IscsiInitiator:
+    """Factory for sessions from one host; owns the login hook list."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: NetworkStack,
+        local_ip: str,
+        initiator_iqn: str = "iqn.2016-01.org.repro:initiator",
+        mss: int = 4096,
+        window: int = 65536,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.local_ip = local_ip
+        self.initiator_iqn = initiator_iqn
+        self.mss = mss
+        self.window = window
+        self.sessions: list[IscsiSession] = []
+        #: Called with (target_iqn, local_port) on every successful login —
+        #: the paper's modified Login Session code path.
+        self.login_hooks: list[Callable[[str, int], None]] = []
+
+    def connect(self, target_ip: str, target_iqn: str, target_port: int = ISCSI_PORT):
+        """Process: TCP connect + iSCSI login; returns an IscsiSession."""
+        socket = TcpSocket(
+            self.sim,
+            self.stack,
+            local_ip=self.local_ip,
+            local_port=self.stack.allocate_port(),
+            mss=self.mss,
+            window=self.window,
+        )
+        yield socket.connect(target_ip, target_port)
+        login = LoginRequestPdu(self.initiator_iqn, target_iqn)
+        socket.send(login, login.wire_size)
+        got = yield socket.recv()
+        if got is RESET or got is EOF:
+            raise SessionDead("connection lost during login")
+        response, _size = got
+        if not isinstance(response, LoginResponsePdu) or response.status != "success":
+            raise LoginFailed(f"login to {target_iqn} failed: {response!r}")
+        session = IscsiSession(self.sim, socket, target_iqn)
+        self.sessions.append(session)
+        for hook in self.login_hooks:
+            hook(target_iqn, socket.local_port)
+        return session

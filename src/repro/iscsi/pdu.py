@@ -1,0 +1,83 @@
+"""iSCSI protocol data units.
+
+Every PDU has a 48-byte basic header segment; write commands carry
+immediate data and Data-In PDUs carry read payloads.  ``wire_size``
+is what TCP charges for the transfer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+BHS_SIZE = 48
+ISCSI_PORT = 3260
+
+_task_tags = itertools.count(1)
+
+
+def next_task_tag() -> int:
+    return next(_task_tags)
+
+
+def volume_iqn(volume_name: str) -> str:
+    """OpenStack-style one-target-per-volume IQN."""
+    return f"iqn.2016-01.org.repro:{volume_name}"
+
+
+@dataclass
+class LoginRequestPdu:
+    initiator_iqn: str
+    target_iqn: str
+
+    @property
+    def wire_size(self) -> int:
+        return BHS_SIZE + len(self.initiator_iqn) + len(self.target_iqn)
+
+
+@dataclass
+class LoginResponsePdu:
+    target_iqn: str
+    status: str  # "success" | "target-not-found"
+
+    @property
+    def wire_size(self) -> int:
+        return BHS_SIZE
+
+
+@dataclass
+class ScsiCommandPdu:
+    op: str  # "read" | "write"
+    offset: int
+    length: int
+    task_tag: int
+    data: Optional[bytes] = None  # immediate data for writes
+
+    @property
+    def wire_size(self) -> int:
+        return BHS_SIZE + (self.length if self.op == "write" else 0)
+
+
+@dataclass
+class DataInPdu:
+    task_tag: int
+    length: int
+    data: Optional[bytes] = None
+    #: volume byte offset the data came from — lets positional ciphers
+    #: (CTR/keystream) decrypt read payloads without per-tag state
+    offset: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return BHS_SIZE + self.length
+
+
+@dataclass
+class ScsiResponsePdu:
+    task_tag: int
+    status: str  # "good" | "error"
+
+    @property
+    def wire_size(self) -> int:
+        return BHS_SIZE

@@ -1,0 +1,49 @@
+"""Networking substrate: links, switches, NAT, SDN, and TCP.
+
+Models the two-network datacenter of the paper's Figure 1: an
+*instance network* built from OVS-like SDN virtual switches (one per
+compute host, interconnected through a fabric), and a flat *storage
+network*.  Packets are forwarded hop-by-hop through real flow-table
+and NAT lookups so that StorM's splicing and steering rules are
+executed rather than assumed.
+"""
+
+from repro.net.packet import FiveTuple, Packet
+from repro.net.link import Interface, Link
+from repro.net.switch import (
+    Drop,
+    FlowRule,
+    FlowTable,
+    ModDstMac,
+    Output,
+    Switch,
+    ToController,
+)
+from repro.net.nat import ConnTrack, NatRule, NatTable
+from repro.net.stack import ArpTable, NetworkStack, Node
+from repro.net.tcp import TcpListener, TcpSegment, TcpSocket
+from repro.net.sdn import SdnController
+
+__all__ = [
+    "ArpTable",
+    "ConnTrack",
+    "Drop",
+    "FiveTuple",
+    "FlowRule",
+    "FlowTable",
+    "Interface",
+    "Link",
+    "ModDstMac",
+    "NatRule",
+    "NatTable",
+    "NetworkStack",
+    "Node",
+    "Output",
+    "Packet",
+    "SdnController",
+    "Switch",
+    "TcpListener",
+    "TcpSegment",
+    "TcpSocket",
+    "ToController",
+]

@@ -1,0 +1,104 @@
+"""Interfaces and point-to-point links.
+
+A :class:`Link` joins two :class:`Interface` objects.  Each direction
+serializes packets (``size / bandwidth``), then delays them by the
+propagation/processing latency, then delivers to the far interface's
+owner.  ``per_packet_overhead`` models fixed per-frame cost — for VM
+virtual interfaces this is the single-threaded virtio copy path the
+paper identifies as the dominant intra-host cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim import Simulator, Store
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.net.stack import Node
+
+#: 1 GbE in bytes/second, the paper's testbed NICs.
+GIGABIT_BPS = 125_000_000
+
+
+class Interface:
+    """A NIC: a named attachment point with a MAC and optional IP."""
+
+    def __init__(self, name: str, mac: str, ip: Optional[str] = None):
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.owner: Optional["Node"] = None
+        self.link: Optional[Link] = None
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def send(self, packet: Packet) -> None:
+        """Transmit onto the attached link (drops if unplugged)."""
+        if self.link is None:
+            return
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.link.transmit(self, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a packet arrives at this interface."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.size
+        if self.owner is not None:
+            self.owner.receive(packet, self)
+
+    def __repr__(self) -> str:
+        return f"Interface({self.name}, mac={self.mac}, ip={self.ip})"
+
+
+class Link:
+    """Full-duplex link: independent serialization per direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Interface,
+        b: Interface,
+        bandwidth: float = GIGABIT_BPS,
+        latency: float = 50e-6,
+        per_packet_overhead: float = 0.0,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.per_packet_overhead = per_packet_overhead
+        a.link = self
+        b.link = self
+        self._queues = {a: Store(sim), b: Store(sim)}
+        sim.process(self._pump(a, b), name=f"link:{a.name}->{b.name}")
+        sim.process(self._pump(b, a), name=f"link:{b.name}->{a.name}")
+
+    def transmit(self, from_iface: Interface, packet: Packet) -> None:
+        if from_iface not in self._queues:
+            raise ValueError("interface not on this link")
+        self._queues[from_iface].put(packet)
+
+    def other_end(self, iface: Interface) -> Interface:
+        return self.b if iface is self.a else self.a
+
+    def _pump(self, src: Interface, dst: Interface):
+        """Serialize queued packets one at a time, then deliver after latency."""
+        queue = self._queues[src]
+        while True:
+            packet: Packet = yield queue.get()
+            serialize = packet.size / self.bandwidth + self.per_packet_overhead
+            yield self.sim.timeout(serialize)
+            self.sim.process(self._deliver_later(dst, packet))
+
+    def _deliver_later(self, dst: Interface, packet: Packet):
+        """Propagation happens in parallel with the next serialization."""
+        yield self.sim.timeout(self.latency)
+        dst.deliver(packet)

@@ -1,0 +1,147 @@
+"""NAT rule chains with connection tracking.
+
+StorM's splicing installs SNAT/DNAT rules like the ones in Fig. 3
+(e.g. on the tenant VM's host: match ``dst target_host_ip:3260`` →
+``SNAT src -> ovs1_ip:vm1_port; DNAT dst -> ovs2_ip:3260``).  The
+*conntrack* table makes translations sticky per connection: once a
+flow is established its translation survives rule removal — the
+property the paper's atomic volume-attach protocol depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import FiveTuple, Packet
+
+
+@dataclass
+class NatRule:
+    """Match (wildcards = None) plus SNAT/DNAT rewrites.
+
+    ``hook`` restricts where the rule applies: ``"prerouting"`` (received
+    packets, like iptables REDIRECT), ``"output"`` (locally generated),
+    or ``"any"``.
+    """
+
+    match_src_ip: Optional[str] = None
+    match_src_port: Optional[int] = None
+    match_dst_ip: Optional[str] = None
+    match_dst_port: Optional[int] = None
+    snat_ip: Optional[str] = None
+    snat_port: Optional[int] = None
+    dnat_ip: Optional[str] = None
+    dnat_port: Optional[int] = None
+    cookie: Optional[str] = None
+    hook: str = "any"
+
+    def matches(self, packet: Packet) -> bool:
+        checks = (
+            (self.match_src_ip, packet.src_ip),
+            (self.match_src_port, packet.src_port),
+            (self.match_dst_ip, packet.dst_ip),
+            (self.match_dst_port, packet.dst_port),
+        )
+        return all(want is None or want == got for want, got in checks)
+
+
+@dataclass
+class _Translation:
+    """Forward rewrite plus the reply-direction inverse."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+
+
+class ConnTrack:
+    """Per-connection translation state (both directions)."""
+
+    def __init__(self):
+        self._forward: dict[FiveTuple, _Translation] = {}
+        self._reply: dict[FiveTuple, _Translation] = {}
+
+    def lookup(self, five_tuple: FiveTuple) -> Optional[tuple[str, _Translation]]:
+        if five_tuple in self._forward:
+            return "forward", self._forward[five_tuple]
+        if five_tuple in self._reply:
+            return "reply", self._reply[five_tuple]
+        return None
+
+    def record(self, original: FiveTuple, translated: FiveTuple) -> None:
+        self._forward[original] = _Translation(
+            translated.src_ip, translated.src_port, translated.dst_ip, translated.dst_port
+        )
+        # Reply packets arrive addressed to the translated identity and
+        # must be rewritten back to the original endpoints.
+        self._reply[translated.reversed()] = _Translation(
+            original.dst_ip, original.dst_port, original.src_ip, original.src_port
+        )
+
+    def forget(self, original: FiveTuple) -> None:
+        translation = self._forward.pop(original, None)
+        if translation is not None:
+            translated = FiveTuple(
+                original.protocol,
+                translation.src_ip,
+                translation.src_port,
+                translation.dst_ip,
+                translation.dst_port,
+            )
+            self._reply.pop(translated.reversed(), None)
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+
+class NatTable:
+    """An iptables-like NAT chain applied by a node's IP stack."""
+
+    def __init__(self):
+        self.rules: list[NatRule] = []
+        self.conntrack = ConnTrack()
+
+    def install(self, rule: NatRule) -> None:
+        self.rules.append(rule)
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if r.cookie != cookie]
+        return before - len(self.rules)
+
+    def translate(self, packet: Packet, hook: str = "any") -> bool:
+        """Rewrite ``packet`` in place.  Returns True if translated.
+
+        Established connections use their conntrack entry even after the
+        originating rule is removed; new connections consult the rules.
+        """
+        hit = self.conntrack.lookup(packet.five_tuple)
+        if hit is not None:
+            _direction, translation = hit
+            self._apply(packet, translation)
+            return True
+        for rule in self.rules:
+            if rule.hook not in ("any", hook) and hook != "any":
+                continue
+            if not rule.matches(packet):
+                continue
+            original = packet.five_tuple
+            translation = _Translation(
+                rule.snat_ip if rule.snat_ip is not None else packet.src_ip,
+                rule.snat_port if rule.snat_port is not None else packet.src_port,
+                rule.dnat_ip if rule.dnat_ip is not None else packet.dst_ip,
+                rule.dnat_port if rule.dnat_port is not None else packet.dst_port,
+            )
+            self._apply(packet, translation)
+            self.conntrack.record(original, packet.five_tuple)
+            return True
+        return False
+
+    @staticmethod
+    def _apply(packet: Packet, translation: _Translation) -> None:
+        packet.src_ip = translation.src_ip
+        packet.src_port = translation.src_port
+        packet.dst_ip = translation.dst_ip
+        packet.dst_port = translation.dst_port

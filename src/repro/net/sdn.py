@@ -1,0 +1,55 @@
+"""Centralized SDN controller.
+
+StorM's forwarding service: one controller knows every virtual switch
+in the instance network and installs/removes flow rules on them (via
+per-host monitors in the paper; direct method calls here — the
+control-plane latency is irrelevant to the evaluated data path).
+Rules are tagged with cookies so a whole steering chain can be torn
+down atomically when a tenant removes a middle-box.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.switch import FlowRule, Switch
+
+
+class SdnController:
+    """Installs flow rules on registered switches, cookie-scoped."""
+
+    def __init__(self, name: str = "storm-sdn"):
+        self.name = name
+        self._switches: dict[str, Switch] = {}
+        self.installed_rules: list[tuple[str, FlowRule]] = []
+
+    def register_switch(self, switch: Switch) -> None:
+        if switch.name in self._switches:
+            raise ValueError(f"switch {switch.name!r} already registered")
+        self._switches[switch.name] = switch
+
+    def switch(self, name: str) -> Switch:
+        try:
+            return self._switches[name]
+        except KeyError:
+            raise KeyError(f"unknown switch {name!r}; registered: {sorted(self._switches)}")
+
+    def install_rule(self, switch_name: str, rule: FlowRule) -> None:
+        self.switch(switch_name).flow_table.install(rule)
+        self.installed_rules.append((switch_name, rule))
+
+    def remove_by_cookie(self, cookie: str, switch_name: Optional[str] = None) -> int:
+        """Remove all rules tagged ``cookie`` (optionally on one switch)."""
+        removed = 0
+        targets = [self.switch(switch_name)] if switch_name else list(self._switches.values())
+        for switch in targets:
+            removed += switch.flow_table.remove_by_cookie(cookie)
+        self.installed_rules = [
+            (sw_name, rule)
+            for sw_name, rule in self.installed_rules
+            if not (rule.cookie == cookie and (switch_name is None or sw_name == switch_name))
+        ]
+        return removed
+
+    def rules_for_cookie(self, cookie: str) -> list[tuple[str, FlowRule]]:
+        return [(sw, r) for sw, r in self.installed_rules if r.cookie == cookie]

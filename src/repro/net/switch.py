@@ -1,0 +1,205 @@
+"""OVS-like virtual switches with SDN flow tables.
+
+A switch forwards frames by consulting its :class:`FlowTable` first
+(priority-ordered match → actions, exactly the shape of the rules in
+the paper's Fig. 3, including ``mod_dst_mac``).  On a table miss it
+falls back to self-learning L2 forwarding with flooding, which is how
+the instance network behaves before StorM installs steering rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim import Simulator
+from repro.net.link import Interface
+from repro.net.packet import Packet
+
+#: Wildcard marker in match specifications.
+ANY = None
+
+MATCH_FIELDS = (
+    "in_port",
+    "src_mac",
+    "dst_mac",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+)
+
+
+class Action:
+    """Base class for flow-rule actions."""
+
+
+@dataclass
+class Output(Action):
+    """Send the frame out of a named switch port."""
+
+    port: str
+
+
+@dataclass
+class ModDstMac(Action):
+    """Rewrite the destination MAC (the steering primitive of Fig. 3)."""
+
+    new_mac: str
+
+
+@dataclass
+class Drop(Action):
+    """Discard the frame."""
+
+
+@dataclass
+class ToController(Action):
+    """Punt the frame to the SDN controller (packet-in)."""
+
+
+@dataclass
+class Normal(Action):
+    """Fall through to standard L2 learning/forwarding (OVS ``NORMAL``)."""
+
+
+@dataclass
+class FlowRule:
+    """Priority match → action list.  ``None`` fields are wildcards."""
+
+    priority: int = 0
+    in_port: Optional[str] = ANY
+    src_mac: Optional[str] = ANY
+    dst_mac: Optional[str] = ANY
+    src_ip: Optional[str] = ANY
+    dst_ip: Optional[str] = ANY
+    src_port: Optional[int] = ANY
+    dst_port: Optional[int] = ANY
+    protocol: Optional[str] = ANY
+    actions: list[Action] = field(default_factory=list)
+    cookie: Optional[str] = None
+    hits: int = 0
+
+    def matches(self, packet: Packet, in_port: str) -> bool:
+        if self.in_port is not ANY and self.in_port != in_port:
+            return False
+        for field_name in ("src_mac", "dst_mac", "src_ip", "dst_ip", "src_port", "dst_port", "protocol"):
+            want = getattr(self, field_name)
+            if want is not ANY and want != getattr(packet, field_name):
+                return False
+        return True
+
+
+class FlowTable:
+    """Priority-ordered rule set with cookie-based removal."""
+
+    def __init__(self):
+        self.rules: list[FlowRule] = []
+
+    def install(self, rule: FlowRule) -> None:
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        before = len(self.rules)
+        self.rules = [r for r in self.rules if r.cookie != cookie]
+        return before - len(self.rules)
+
+    def lookup(self, packet: Packet, in_port: str) -> Optional[FlowRule]:
+        for rule in self.rules:
+            if rule.matches(packet, in_port):
+                rule.hits += 1
+                return rule
+        return None
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class Switch:
+    """A virtual switch: named ports, a flow table, and L2 learning."""
+
+    def __init__(self, sim: Simulator, name: str, forwarding_delay: float = 5e-6):
+        self.sim = sim
+        self.name = name
+        self.forwarding_delay = forwarding_delay
+        self.ports: dict[str, Interface] = {}
+        self.flow_table = FlowTable()
+        self._mac_table: dict[str, str] = {}  # mac -> port name
+        self.controller: Optional[Callable[["Switch", Packet, str], None]] = None
+        self.packets_switched = 0
+
+    # -- wiring ------------------------------------------------------
+
+    def add_port(self, name: str, mac: str = "") -> Interface:
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name!r} on switch {self.name!r}")
+        iface = Interface(f"{self.name}.{name}", mac or f"sw:{self.name}:{name}")
+        iface.owner = self
+        self.ports[name] = iface
+        return iface
+
+    def port_of(self, iface: Interface) -> str:
+        for port_name, port_iface in self.ports.items():
+            if port_iface is iface:
+                return port_name
+        raise ValueError(f"interface {iface.name} is not a port of {self.name}")
+
+    # -- data plane ----------------------------------------------------
+
+    def receive(self, packet: Packet, iface: Interface) -> None:
+        in_port = self.port_of(iface)
+        self._mac_table[packet.src_mac] = in_port
+        self.packets_switched += 1
+        packet.record_hop(self.name)
+        self.sim.process(self._forward_after_delay(packet, in_port))
+
+    def _forward_after_delay(self, packet: Packet, in_port: str):
+        if self.forwarding_delay:
+            yield self.sim.timeout(self.forwarding_delay)
+        self._apply_pipeline(packet, in_port)
+        return None
+
+    def _apply_pipeline(self, packet: Packet, in_port: str) -> None:
+        rule = self.flow_table.lookup(packet, in_port)
+        if rule is None:
+            self._l2_forward(packet, in_port)
+            return
+        for action in rule.actions:
+            if isinstance(action, ModDstMac):
+                packet.dst_mac = action.new_mac
+            elif isinstance(action, Output):
+                self._output(packet, action.port)
+                return
+            elif isinstance(action, Drop):
+                return
+            elif isinstance(action, ToController):
+                if self.controller is not None:
+                    self.controller(self, packet, in_port)
+                return
+            elif isinstance(action, Normal):
+                self._l2_forward(packet, in_port)
+                return
+        # Rewrite-only rule (the Fig. 3 style): finish with L2 forwarding
+        # toward the (possibly rewritten) destination MAC.
+        self._l2_forward(packet, in_port)
+
+    def _l2_forward(self, packet: Packet, in_port: str) -> None:
+        known = self._mac_table.get(packet.dst_mac)
+        if known is not None and known != in_port:
+            self._output(packet, known)
+            return
+        if known == in_port:
+            return  # destination is behind the ingress port: drop
+        self._flood(packet, in_port)
+
+    def _flood(self, packet: Packet, in_port: str) -> None:
+        for port_name in self.ports:
+            if port_name != in_port:
+                self._output(packet.copy(), port_name)
+
+    def _output(self, packet: Packet, port_name: str) -> None:
+        port = self.ports.get(port_name)
+        if port is not None:
+            port.send(packet)

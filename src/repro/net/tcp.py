@@ -1,0 +1,428 @@
+"""A windowed, ACK-clocked TCP model.
+
+Faithful to the properties StorM's active-relay exploits, cheap on
+everything else: in-order lossless delivery (the simulated fabric
+preserves order), a fixed flow-control window, cumulative ACKs, a
+3-way handshake (which is what populates NAT conntrack during the
+atomic volume attach), and RST for failure injection.
+
+Throughput of a connection is window/RTT-bound exactly like real TCP,
+which is the mechanism behind the paper's Figures 5–9: splitting one
+long connection into two short ones at the middle-box shortens each
+ACK loop and restores throughput.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim import Event, Simulator, Store
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.net.stack import NetworkStack
+
+_message_ids = itertools.count(1)
+
+DEFAULT_MSS = 4096
+DEFAULT_WINDOW = 65536
+
+
+class ConnectionReset(Exception):
+    """The peer sent RST (or the connection was torn down underneath)."""
+
+
+#: Sentinel delivered to pending receivers on reset/close.
+RESET = object()
+EOF = object()
+
+
+@dataclass
+class TcpSegment:
+    kind: str  # syn | syn-ack | ack | data | fin | rst
+    seq: int = 0
+    ack: int = 0
+    length: int = 0
+    message_id: int = 0
+    message: Any = None
+    message_size: int = 0
+    is_last: bool = False
+
+
+class StreamHandle:
+    """An outgoing message whose bytes become available incrementally.
+
+    The active relay forwards a large PDU chunk-by-chunk as it arrives
+    (cut-through at segment granularity): each received chunk
+    :meth:`credit`\\ s bytes to the outgoing copy, and :meth:`finish`
+    attaches the (possibly transformed) message object carried by the
+    final segment.
+    """
+
+    def __init__(self, sim, message_id: int, total_size: int):
+        self.sim = sim
+        self.message_id = message_id
+        self.total_size = total_size
+        self.credited = 0
+        self.finished = False
+        self.message: Any = None
+        self._waiters: list[Event] = []
+
+    def credit(self, nbytes: int) -> None:
+        self.credited = min(self.total_size, self.credited + nbytes)
+        self._wake()
+
+    def finish(self, message: Any) -> None:
+        self.message = message
+        self.finished = True
+        self.credited = self.total_size
+        self._wake()
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+
+class TcpSocket:
+    """One endpoint of a connection, bound to a node's stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: NetworkStack,
+        local_ip: str,
+        local_port: int,
+        remote_ip: Optional[str] = None,
+        remote_port: Optional[int] = None,
+        mss: int = DEFAULT_MSS,
+        window: int = DEFAULT_WINDOW,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.mss = mss
+        self.window = window
+        self.state = "closed"
+        self.established_event: Event = sim.event()
+        self._tx_queue = Store(sim)
+        self._rx_store = Store(sim)
+        # sender-side accounting
+        self._sent_bytes = 0
+        self._acked_bytes = 0
+        self._window_waiters: list[Event] = []
+        # receiver-side accounting
+        self._rx_bytes = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._sender_started = False
+        # delivery notification (peer ACKed a whole message) — used by
+        # the active relay's NVM buffer to know when it may discard
+        self._message_thresholds: dict[int, int] = {}
+        self._delivery_events: dict[int, Event] = {}
+        #: when set, data segments bypass the message queue and are
+        #: handed to this callback one segment at a time (cut-through
+        #: consumers like the active relay); sentinels still arrive
+        #: via :meth:`recv`
+        self.chunk_listener = None
+
+    # -- identity ------------------------------------------------------
+
+    def demux_key(self) -> tuple[str, int, str, int]:
+        return (self.local_ip, self.local_port, self.remote_ip or "", self.remote_port or 0)
+
+    # -- connection management -------------------------------------------
+
+    def connect(self, remote_ip: str, remote_port: int) -> Event:
+        """Begin the 3-way handshake; returns the established event."""
+        if self.state != "closed":
+            raise ConnectionReset(f"connect() in state {self.state}")
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.stack.bind_socket(self)
+        self.state = "syn-sent"
+        self._emit(TcpSegment(kind="syn"))
+        return self.established_event
+
+    def _start_sender(self) -> None:
+        if not self._sender_started:
+            self._sender_started = True
+            self.sim.process(self._sender(), name=f"tcp-sender:{self.local_ip}:{self.local_port}")
+
+    def close(self) -> None:
+        if self.state in ("closed", "reset"):
+            return
+        self._emit(TcpSegment(kind="fin"))
+        self.state = "closed"
+        self._deliver_sentinel(EOF)
+        self.stack.unbind_socket(self)
+
+    def reset(self) -> None:
+        """Abortively close (failure injection / iSCSI logout on error)."""
+        if self.state == "reset":
+            return
+        if self.state == "established":
+            self._emit(TcpSegment(kind="rst"))
+        self._enter_reset()
+
+    def _enter_reset(self) -> None:
+        self.state = "reset"
+        # free the 4-tuple so a reconnection can bind it
+        self.stack.unbind_socket(self)
+        self._deliver_sentinel(RESET)
+        for waiter in self._window_waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+        self._window_waiters.clear()
+        if not self.established_event.triggered:
+            self.established_event.fail(ConnectionReset("reset during handshake"))
+
+    def _deliver_sentinel(self, sentinel: Any) -> None:
+        # Wake every blocked receiver, and leave one marker for future reads.
+        while self._rx_store._getters:
+            self._rx_store.put(sentinel)
+        self._rx_store.put(sentinel)
+
+    # -- application interface ---------------------------------------------
+
+    def send(self, message: Any, size: int) -> int:
+        """Queue an application message of ``size`` bytes. Non-blocking."""
+        if self.state == "reset":
+            raise ConnectionReset("send on reset connection")
+        message_id = next(_message_ids)
+        self._tx_queue.put(("msg", message_id, message, size))
+        return message_id
+
+    def send_stream(self, total_size: int) -> StreamHandle:
+        """Queue a message whose bytes arrive incrementally (cut-through
+        relaying); drive it via the returned :class:`StreamHandle`."""
+        if self.state == "reset":
+            raise ConnectionReset("send on reset connection")
+        handle = StreamHandle(self.sim, next(_message_ids), total_size)
+        self._tx_queue.put(("stream", handle))
+        return handle
+
+    def recv(self) -> Event:
+        """Event yielding (message, size); RESET/EOF sentinel on teardown."""
+        return self._rx_store.get()
+
+    def when_delivered(self, message_id: int) -> Event:
+        """Event firing once the peer has ACKed the entire message.
+
+        Never fires if the connection resets first — which is exactly
+        the property the active relay's NVM buffer needs.
+        """
+        event = self._delivery_events.get(message_id)
+        if event is None:
+            event = self.sim.event()
+            self._delivery_events[message_id] = event
+            threshold = self._message_thresholds.get(message_id)
+            if threshold is not None and threshold <= self._acked_bytes:
+                event.succeed()
+        return event
+
+    # -- sender process -----------------------------------------------------
+
+    def _sender(self):
+        while True:
+            item = yield self._tx_queue.get()
+            if self.state == "reset":
+                return
+            if item[0] == "msg":
+                _tag, message_id, message, size = item
+                sent = yield from self._send_message(message_id, message, size)
+            else:
+                handle: StreamHandle = item[1]
+                message_id = handle.message_id
+                sent = yield from self._send_streamed(handle)
+            if not sent:
+                return  # connection reset mid-message
+            self._message_thresholds[message_id] = self._sent_bytes
+
+    def _send_message(self, message_id: int, message: Any, size: int):
+        offset = 0
+        while offset < size:
+            chunk = min(self.mss, size - offset)
+            if not (yield from self._await_window(chunk)):
+                return False
+            self._emit_data(
+                message_id, chunk, size, message, is_last=offset + chunk >= size
+            )
+            offset += chunk
+        return True
+
+    def _send_streamed(self, handle: StreamHandle):
+        sent = 0
+        while sent < handle.total_size:
+            while handle.credited <= sent:
+                yield handle.wait()
+                if self.state == "reset":
+                    return False
+            chunk = min(self.mss, handle.credited - sent)
+            if not (yield from self._await_window(chunk)):
+                return False
+            is_last = handle.finished and sent + chunk >= handle.total_size
+            self._emit_data(
+                handle.message_id,
+                chunk,
+                handle.total_size,
+                handle.message if is_last else None,
+                is_last=is_last,
+            )
+            sent += chunk
+        return True
+
+    def _await_window(self, chunk: int):
+        while self._in_flight() + chunk > self.window:
+            waiter = self.sim.event()
+            self._window_waiters.append(waiter)
+            yield waiter
+            if self.state == "reset":
+                return False
+        return True
+
+    def _emit_data(
+        self, message_id: int, chunk: int, size: int, message: Any, is_last: bool
+    ) -> None:
+        segment = TcpSegment(
+            kind="data",
+            seq=self._sent_bytes,
+            length=chunk,
+            message_id=message_id,
+            message=message,
+            message_size=size,
+            is_last=is_last,
+        )
+        self._sent_bytes += chunk
+        self.bytes_sent += chunk
+        self._emit(segment)
+
+    def _in_flight(self) -> int:
+        return self._sent_bytes - self._acked_bytes
+
+    # -- segment handling -----------------------------------------------------
+
+    def handle_segment(self, segment: TcpSegment, packet: Packet) -> None:
+        if self.state == "reset":
+            return
+        if segment.kind == "rst":
+            self._enter_reset()
+            return
+        if segment.kind == "fin":
+            self._deliver_sentinel(EOF)
+            return
+        if segment.kind == "syn-ack" and self.state == "syn-sent":
+            self.state = "established"
+            self._emit(TcpSegment(kind="ack"))
+            self._start_sender()
+            self.established_event.succeed(self)
+            return
+        if segment.kind == "ack" and self.state == "syn-received":
+            self.state = "established"
+            self._start_sender()
+            if self._on_established is not None:
+                self._on_established(self)
+            return
+        if segment.kind == "ack":
+            if segment.ack > self._acked_bytes:
+                self._acked_bytes = segment.ack
+                waiters, self._window_waiters = self._window_waiters, []
+                for waiter in waiters:
+                    if not waiter.triggered:
+                        waiter.succeed()
+                for message_id in [
+                    m
+                    for m, threshold in self._message_thresholds.items()
+                    if threshold <= self._acked_bytes
+                ]:
+                    del self._message_thresholds[message_id]
+                    event = self._delivery_events.pop(message_id, None)
+                    if event is not None and not event.triggered:
+                        event.succeed()
+            return
+        if segment.kind == "data" and self.state == "established":
+            self._rx_bytes += segment.length
+            self.bytes_received += segment.length
+            # ACK on arrival, independent of app consumption — in the
+            # active relay this IS the short-circuited acknowledgment
+            self._emit(TcpSegment(kind="ack", ack=self._rx_bytes))
+            if self.chunk_listener is not None:
+                self.chunk_listener(segment)
+                return
+            if segment.is_last:
+                self._rx_store.put((segment.message, segment.message_size))
+            return
+
+    _on_established = None  # set by TcpListener for server-side sockets
+
+    # -- wire output ------------------------------------------------------------
+
+    def _emit(self, segment: TcpSegment) -> None:
+        packet = Packet(
+            src_mac="",
+            dst_mac="",
+            src_ip=self.local_ip,
+            dst_ip=self.remote_ip or "",
+            src_port=self.local_port,
+            dst_port=self.remote_port or 0,
+            protocol="tcp",
+            size=HEADER_BYTES + segment.length,
+            payload=segment,
+        )
+        self.stack.send_ip(packet)
+
+
+class TcpListener:
+    """A passive socket: accepts connections arriving on ``port``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: NetworkStack,
+        ip: str,
+        port: int,
+        mss: int = DEFAULT_MSS,
+        window: int = DEFAULT_WINDOW,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.ip = ip
+        self.port = port
+        self.mss = mss
+        self.window = window
+        self.accept_queue = Store(sim)
+        stack.bind_listener(self)
+
+    def accept(self) -> Event:
+        """Event yielding an established server-side :class:`TcpSocket`."""
+        return self.accept_queue.get()
+
+    def handle_segment(self, segment: TcpSegment, packet: Packet) -> None:
+        if segment.kind != "syn":
+            return
+        socket = TcpSocket(
+            self.sim,
+            self.stack,
+            local_ip=packet.dst_ip,
+            local_port=packet.dst_port,
+            remote_ip=packet.src_ip,
+            remote_port=packet.src_port,
+            mss=self.mss,
+            window=self.window,
+        )
+        socket.state = "syn-received"
+        socket._on_established = self.accept_queue.put
+        self.stack.bind_socket(socket)
+        socket._emit(TcpSegment(kind="syn-ack"))
+
+    def shutdown(self) -> None:
+        self.stack.unbind_listener(self)

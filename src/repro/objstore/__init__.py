@@ -1,0 +1,33 @@
+"""Object-storage substrate (Swift-like).
+
+The paper notes StorM "is equally applicable to other storage systems
+such as object storage" (§II-A); this package makes that claim
+concrete.  A bucket/key object server runs on a storage host (backed
+by a log-structured volume layout), compute hosts attach to it the
+way they attach iSCSI volumes (a host-side client connection on the
+storage network) — and the *same* StorM splicing, steering, and
+relays service the flow, just on the object port.
+"""
+
+from repro.objstore.protocol import (
+    OBJECT_PORT,
+    DeleteRequest,
+    GetRequest,
+    ListRequest,
+    ObjectResponse,
+    PutRequest,
+)
+from repro.objstore.server import ObjectStoreServer
+from repro.objstore.client import ObjectStoreClient, ObjectStoreSession
+
+__all__ = [
+    "DeleteRequest",
+    "GetRequest",
+    "ListRequest",
+    "OBJECT_PORT",
+    "ObjectResponse",
+    "ObjectStoreClient",
+    "ObjectStoreServer",
+    "ObjectStoreSession",
+    "PutRequest",
+]

@@ -1,0 +1,131 @@
+"""The object server: bucket/key store over a log-structured volume.
+
+Objects are appended to a backing volume (block-aligned extents, an
+in-memory index) so every PUT/GET pays realistic disk time; deletes
+drop the index entry (space is compacted offline, as in real
+log-structured stores — not modeled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.blockdev import Volume
+from repro.fs.layout import BLOCK_SIZE
+from repro.net.stack import NetworkStack
+from repro.net.tcp import ConnectionReset, EOF, RESET, TcpListener, TcpSocket
+from repro.objstore.protocol import (
+    DeleteRequest,
+    GetRequest,
+    ListRequest,
+    OBJECT_PORT,
+    ObjectResponse,
+    PutRequest,
+)
+from repro.sim import Simulator
+
+
+@dataclass
+class _Extent:
+    offset: int
+    size: int  # true object size (extent is block-aligned)
+
+
+class ObjectStoreServer:
+    """Listens on the object port; serves PUT/GET/DELETE/LIST."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: NetworkStack,
+        ip: str,
+        volume: Volume,
+        port: int = OBJECT_PORT,
+        cpu=None,
+        mss: int = 4096,
+        window: int = 65536,
+    ):
+        self.sim = sim
+        self.volume = volume
+        self.cpu = cpu
+        self.listener = TcpListener(sim, stack, ip, port, mss=mss, window=window)
+        self._index: dict[tuple[str, str], _Extent] = {}
+        self._log_head = 0
+        self.requests_served = 0
+        sim.process(self._accept_loop(), name=f"objstore:{ip}")
+
+    # -- data plane ---------------------------------------------------
+
+    def _accept_loop(self):
+        while True:
+            socket: TcpSocket = yield self.listener.accept()
+            self.sim.process(self._serve(socket))
+
+    def _serve(self, socket: TcpSocket):
+        while True:
+            got = yield socket.recv()
+            if got is RESET or got is EOF:
+                return
+            request, _size = got
+            self.sim.process(self._execute(socket, request))
+
+    def _execute(self, socket: TcpSocket, request):
+        self.requests_served += 1
+        if self.cpu is not None:
+            yield from self.cpu.consume(20e-6)
+        if isinstance(request, PutRequest):
+            response = yield from self._put(request)
+        elif isinstance(request, GetRequest):
+            response = yield from self._get(request)
+        elif isinstance(request, DeleteRequest):
+            response = self._delete(request)
+        elif isinstance(request, ListRequest):
+            response = self._list(request)
+        else:
+            response = ObjectResponse(getattr(request, "request_id", 0), "error")
+        try:
+            socket.send(response, response.wire_size)
+        except ConnectionReset:
+            pass
+
+    def _aligned(self, size: int) -> int:
+        return max(BLOCK_SIZE, (size + BLOCK_SIZE - 1) // BLOCK_SIZE * BLOCK_SIZE)
+
+    def _put(self, request: PutRequest):
+        extent_size = self._aligned(request.size)
+        if self._log_head + extent_size > self.volume.size:
+            return ObjectResponse(request.request_id, "error")
+        offset = self._log_head
+        self._log_head += extent_size
+        data = None
+        if request.data is not None:
+            data = request.data.ljust(extent_size, b"\x00")
+        yield from self.volume.write(offset, extent_size, data)
+        self._index[(request.bucket, request.key)] = _Extent(offset, request.size)
+        return ObjectResponse(
+            request.request_id, "ok", bucket=request.bucket, key=request.key
+        )
+
+    def _get(self, request: GetRequest):
+        extent = self._index.get((request.bucket, request.key))
+        if extent is None:
+            return ObjectResponse(request.request_id, "not-found")
+        raw = yield from self.volume.read(extent.offset, self._aligned(extent.size))
+        return ObjectResponse(
+            request.request_id,
+            "ok",
+            size=extent.size,
+            data=raw[: extent.size] if raw is not None else None,
+            bucket=request.bucket,
+            key=request.key,
+        )
+
+    def _delete(self, request: DeleteRequest) -> ObjectResponse:
+        extent = self._index.pop((request.bucket, request.key), None)
+        status = "ok" if extent is not None else "not-found"
+        return ObjectResponse(request.request_id, status)
+
+    def _list(self, request: ListRequest) -> ObjectResponse:
+        keys = sorted(k for b, k in self._index if b == request.bucket)
+        return ObjectResponse(request.request_id, "ok", keys=keys)

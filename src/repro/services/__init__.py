@@ -1,0 +1,75 @@
+"""The three tenant-defined middle-box services of the paper's §V-B.
+
+- :mod:`repro.services.monitor` — storage access monitor (case 1):
+  reconstructs file-level operations from block traffic and alerts on
+  accesses to watched paths;
+- :mod:`repro.services.encryption` — data encryption (case 2):
+  on-the-fly AES-256 (or stream cipher) over write payloads, with a
+  tenant-side dm-crypt-style variant for the paper's comparison;
+- :mod:`repro.services.replication` — data reliability (case 3):
+  ordered write fan-out to replica volumes, read striping across
+  replicas, and failure ejection.
+
+Call :func:`install_default_services` to register all of them (plus
+the built-in ``noop``) on a :class:`~repro.core.platform.StorM`
+instance under the kinds ``monitor``/``encryption``/``replication``.
+"""
+
+from repro.services.monitor import AccessAlert, StorageAccessMonitor
+from repro.services.encryption import EncryptionService, TenantSideEncryption
+from repro.services.replication import ReplicaState, ReplicationService
+from repro.services.object_encryption import ObjectAccessLogger, ObjectEncryptionService
+from repro.services.access_control import AccessControlService, AccessRule
+
+
+def install_default_services(storm) -> None:
+    """Register the case-study service factories on a platform."""
+    params = storm.cloud.params
+    storm.register_service(
+        "monitor",
+        lambda spec, _storm: StorageAccessMonitor(
+            mount_point=spec.options.get("mount_point", "")
+        ),
+    )
+    storm.register_service(
+        "encryption",
+        lambda spec, _storm: EncryptionService(
+            algorithm=spec.options.get("algorithm", "aes-256"),
+            key=spec.options.get("key"),
+            params=params,
+        ),
+    )
+    storm.register_service(
+        "replication", lambda spec, _storm: ReplicationService()
+    )
+    storm.register_service(
+        "object-encryption",
+        lambda spec, _storm: ObjectEncryptionService(
+            key=spec.options.get("key", 0xC0FFEE), params=params
+        ),
+    )
+    storm.register_service(
+        "object-logger", lambda spec, _storm: ObjectAccessLogger()
+    )
+    storm.register_service(
+        "access-control",
+        lambda spec, _storm: AccessControlService(
+            default_allow=spec.options.get("default_allow", True),
+            mount_point=spec.options.get("mount_point", ""),
+        ),
+    )
+
+
+__all__ = [
+    "AccessAlert",
+    "AccessControlService",
+    "AccessRule",
+    "ObjectAccessLogger",
+    "ObjectEncryptionService",
+    "EncryptionService",
+    "ReplicaState",
+    "ReplicationService",
+    "StorageAccessMonitor",
+    "TenantSideEncryption",
+    "install_default_services",
+]

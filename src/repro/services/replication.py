@@ -1,0 +1,141 @@
+"""Case study 3: tenant-defined replica dispatch (paper §V-B3).
+
+For writes, the middle-box forwards to the primary volume *and* copies
+the same data, in the same order, to every attached replica volume.
+For reads, it stripes across all available copies (primary included),
+aggregating their throughput.  A replica that fails (connection reset,
+I/O error) is ejected from rotation; its in-flight reads are reissued
+against the survivors — the behaviour behind the paper's Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.middlebox import StorageService, payload_bytes
+from repro.iscsi.initiator import IscsiSession, SessionDead
+from repro.iscsi.pdu import DataInPdu, ScsiCommandPdu, ScsiResponsePdu
+
+
+@dataclass
+class ReplicaState:
+    name: str
+    session: IscsiSession
+    alive: bool = True
+    reads_served: int = 0
+    writes_applied: int = 0
+
+
+class ReplicationService(StorageService):
+    """Ordered write fan-out + striped reads + failure ejection."""
+
+    name = "replication"
+    cpu_per_byte = 0.5e-9
+
+    def __init__(self):
+        super().__init__()
+        self.replicas: list[ReplicaState] = []
+        self._rotation = 0
+        self.primary_reads = 0
+        self.primary_writes = 0
+        self.failovers = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def add_replica(self, session: IscsiSession, name: str = "") -> ReplicaState:
+        state = ReplicaState(name or f"replica-{len(self.replicas) + 1}", session)
+        self.replicas.append(state)
+        return state
+
+    def alive_replicas(self) -> list[ReplicaState]:
+        return [r for r in self.replicas if r.alive]
+
+    @property
+    def replication_factor(self) -> int:
+        """Primary plus currently-alive replicas."""
+        return 1 + len(self.alive_replicas())
+
+    # -- data path --------------------------------------------------------------
+
+    def process(self, pdu, direction: str, ctx, charged: bool = False):
+        cost = 0.0 if charged else self.cpu_per_byte * payload_bytes(pdu)
+        if cost and self.middlebox is not None:
+            yield from self.middlebox.cpu.consume(cost)
+        self.pdus_processed += 1
+        if direction == "downstream" or not isinstance(pdu, ScsiCommandPdu):
+            ctx.forward(pdu)
+            return
+        if pdu.op == "write":
+            self._fan_out_write(pdu)
+            self.primary_writes += 1
+            ctx.forward(pdu)
+            return
+        # read: stripe across primary + alive replicas
+        sources = self.alive_replicas()
+        choice = self._rotation % (1 + len(sources))
+        self._rotation += 1
+        if choice == 0 or not sources:
+            self.primary_reads += 1
+            ctx.forward(pdu)
+            return
+        replica = sources[choice - 1]
+        ctx.consumed = True  # we own this PDU's fate now
+        self.middlebox.sim.process(self._read_from_replica(replica, pdu, ctx))
+
+    # -- writes ---------------------------------------------------------------------
+
+    def _fan_out_write(self, pdu: ScsiCommandPdu) -> None:
+        """Issue the same write to every replica, in arrival order.
+
+        Writes are issued (not awaited) inline so ordering across all
+        volumes matches the primary stream; completion is watched in the
+        background, and a failing replica is ejected.
+        """
+        for replica in self.alive_replicas():
+            try:
+                event = replica.session.write(pdu.offset, pdu.length, pdu.data)
+            except SessionDead:
+                self._eject(replica)
+                continue
+            replica.writes_applied += 1
+            self.middlebox.sim.process(self._watch_write(replica, event))
+
+    def _watch_write(self, replica: ReplicaState, event):
+        try:
+            yield event
+        except SessionDead:
+            self._eject(replica)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def _read_from_replica(self, replica: ReplicaState, pdu: ScsiCommandPdu, ctx):
+        try:
+            data = yield replica.session.read(pdu.offset, pdu.length)
+        except SessionDead:
+            self._eject(replica)
+            yield from self._retry_read(pdu, ctx)
+            return
+        replica.reads_served += 1
+        ctx.reply(DataInPdu(pdu.task_tag, pdu.length, data, offset=pdu.offset))
+        ctx.reply(ScsiResponsePdu(pdu.task_tag, "good"))
+
+    def _retry_read(self, pdu: ScsiCommandPdu, ctx):
+        """Serve an interrupted read from one of the other copies."""
+        self.failovers += 1
+        for replica in self.alive_replicas():
+            try:
+                data = yield replica.session.read(pdu.offset, pdu.length)
+            except SessionDead:
+                self._eject(replica)
+                continue
+            replica.reads_served += 1
+            ctx.reply(DataInPdu(pdu.task_tag, pdu.length, data, offset=pdu.offset))
+            ctx.reply(ScsiResponsePdu(pdu.task_tag, "good"))
+            return
+        # all replicas gone: fall back to the primary path
+        self.primary_reads += 1
+        ctx.forward(pdu)
+
+    def _eject(self, replica: ReplicaState) -> None:
+        if replica.alive:
+            replica.alive = False

@@ -1,0 +1,279 @@
+"""Event loop, events, and generator-based processes.
+
+Time is a float in **seconds**.  Events are scheduled onto a heap keyed
+by ``(time, sequence)`` so same-time events fire in FIFO order, which
+keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+_UNSET = object()
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* by :meth:`succeed` or :meth:`fail`; the
+    simulator then runs its callbacks at the current simulation time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = _UNSET
+        self.ok: bool = True
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception is assigned (the event will fire)."""
+        return self._value is not _UNSET
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run; late waiters must not subscribe."""
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if self._value is _UNSET:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.ok = True
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._value = exception
+        self.ok = False
+        self.sim._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self.ok = True
+        sim._schedule(self, delay)
+
+
+class _ConditionBase(Event):
+    """Shared machinery for AllOf/AnyOf."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._fired = 0
+        for event in self.events:
+            if event.processed:
+                if not event.ok:
+                    self.fail(event.value)
+                    return
+                self._fired += 1
+            else:
+                event.callbacks.append(self._observe)
+        self._check_done()
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._fired += 1
+        self._check_done()
+
+    def _results(self) -> dict[Event, Any]:
+        return {e: e.value for e in self.events if e.processed and e.ok}
+
+    def _check_done(self) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_ConditionBase):
+    """Fires once every constituent event has fired."""
+
+    def _check_done(self) -> None:
+        if self._fired == len(self.events):
+            self.succeed(self._results())
+
+
+class AnyOf(_ConditionBase):
+    """Fires once any constituent event has fired."""
+
+    def _check_done(self) -> None:
+        if self._fired >= 1 or not self.events:
+            self.succeed(self._results())
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns.
+
+    The generator yields :class:`Event` objects; the process resumes
+    when the yielded event triggers, receiving the event's value (or
+    having the event's exception thrown in, if it failed).
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick off on the next tick of the loop at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.sim)
+        wakeup._interrupt_cause = cause  # type: ignore[attr-defined]
+        wakeup.callbacks.append(self._resume)
+        wakeup.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if hasattr(trigger, "_interrupt_cause"):
+                target = self._generator.throw(Interrupt(trigger._interrupt_cause))
+            elif trigger.ok:
+                target = self._generator.send(trigger.value if trigger._value is not _UNSET else None)
+            else:
+                target = self._generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(exc)
+            return
+        except Exception as exc:
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, which is not an Event"
+            )
+        if target.processed:
+            # Already-processed event: resume immediately at current time.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(self._resume)
+            immediate._value = target._value
+            immediate.ok = target.ok
+            self.sim._schedule(immediate)
+            self._waiting_on = immediate
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered event heap."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    # -- scheduling --------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, ``until`` seconds, or an event fires.
+
+        Returns the event's value when ``until`` is an Event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        horizon = float(until) if until is not None else None
+        while self._heap:
+            when = self._heap[0][0]
+            if horizon is not None and when > horizon:
+                break
+            self.step()
+        if horizon is not None and horizon > self.now:
+            self.now = horizon
+        return None

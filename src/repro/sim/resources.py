@@ -1,0 +1,91 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Resource` models a capacity-limited server pool (vCPUs, disk
+queue slots).  :class:`Store` is an unbounded FIFO of items with
+blocking ``get`` — the building block for mailboxes, NIC queues, and
+socket receive buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """``capacity`` interchangeable slots, granted FIFO."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+            return
+        else:
+            raise SimulationError("releasing a request that was never granted")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """Unbounded FIFO of items; ``get`` blocks until an item exists."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self) -> list[Any]:
+        """Non-destructive snapshot (for introspection/tests)."""
+        return list(self.items)

@@ -1,0 +1,35 @@
+"""Workload generators matching the paper's evaluation drivers.
+
+- :mod:`repro.workloads.fio` — the Fio micro-benchmark (§V-A): I/O
+  size sweeps, thread counts, 50/50 random read/write mixes;
+- :mod:`repro.workloads.ftp` — the bulk FTP transfer of §V-B2;
+- :mod:`repro.workloads.postmark` — PostMark's small-file mail-server
+  mix (§V-B2, Fig. 11);
+- :mod:`repro.workloads.oltp` — Sysbench-style OLTP against a
+  MySQL-like page store (§V-B3, Figs. 12/13);
+- :mod:`repro.workloads.malware` — the Ganiw.a backdoor installation
+  trace of Table III.
+"""
+
+from repro.workloads.fio import FioConfig, FioJob, FioResult
+from repro.workloads.ftp import FtpResult, FtpTransfer
+from repro.workloads.postmark import PostmarkConfig, PostmarkJob, PostmarkResult
+from repro.workloads.oltp import MySqlServer, OltpClient, OltpConfig
+from repro.workloads.malware import GANIW_STEPS, run_ganiw_install, setup_system_image
+
+__all__ = [
+    "FioConfig",
+    "FioJob",
+    "FioResult",
+    "FtpResult",
+    "FtpTransfer",
+    "GANIW_STEPS",
+    "MySqlServer",
+    "OltpClient",
+    "OltpConfig",
+    "PostmarkConfig",
+    "PostmarkJob",
+    "PostmarkResult",
+    "run_ganiw_install",
+    "setup_system_image",
+]

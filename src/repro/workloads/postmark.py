@@ -1,0 +1,154 @@
+"""PostMark-like small-file workload (paper §V-B2, Fig. 11).
+
+PostMark simulates a mail server: a pool of small files receives a
+transaction mix of reads, appends, creations, and deletions.  The
+paper reports per-category operation rates and read/write data rates,
+normalized between tenant-side and middle-box encryption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.extfs import ExtFilesystem, FsError
+from repro.fs.layout import BLOCK_SIZE
+from repro.sim import SeededRNG, Simulator
+
+
+@dataclass
+class PostmarkConfig:
+    file_count: int = 40
+    transactions: int = 120
+    min_size: int = BLOCK_SIZE
+    max_size: int = 4 * BLOCK_SIZE
+    seed: int = 7
+    directory: str = "/mail"
+
+
+@dataclass
+class PostmarkResult:
+    elapsed: float = 0.0
+    reads: int = 0
+    appends: int = 0
+    creations: int = 0
+    deletions: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def rate(self, count: int) -> float:
+        return count / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def read_ops_per_sec(self) -> float:
+        return self.rate(self.reads)
+
+    @property
+    def append_ops_per_sec(self) -> float:
+        return self.rate(self.appends)
+
+    @property
+    def creation_ops_per_sec(self) -> float:
+        return self.rate(self.creations)
+
+    @property
+    def deletion_ops_per_sec(self) -> float:
+        return self.rate(self.deletions)
+
+    @property
+    def read_rate(self) -> float:
+        return self.rate(self.bytes_read)
+
+    @property
+    def write_rate(self) -> float:
+        return self.rate(self.bytes_written)
+
+
+class PostmarkJob:
+    """One PostMark run over a mounted filesystem."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: ExtFilesystem,
+        config: PostmarkConfig | None = None,
+        vm=None,
+        params=None,
+        inline_cost_per_byte: float = 0.0,
+    ):
+        """``inline_cost_per_byte``: extra CPU seconds charged to the VM
+        per data byte *in the operation path* — models dm-crypt holding
+        application threads (spinlock waits) in the tenant-side-
+        encryption configuration (paper §V-B2)."""
+        self.sim = sim
+        self.fs = fs
+        self.config = config or PostmarkConfig()
+        self.vm = vm
+        self.params = params
+        self.inline_cost_per_byte = inline_cost_per_byte
+        self.rng = SeededRNG(self.config.seed, name="postmark")
+        self._counter = 0
+
+    def _new_name(self) -> str:
+        self._counter += 1
+        return f"{self.config.directory}/msg-{self._counter:06d}"
+
+    def _random_size(self) -> int:
+        blocks_min = self.config.min_size // BLOCK_SIZE
+        blocks_max = self.config.max_size // BLOCK_SIZE
+        return self.rng.randint(blocks_min, blocks_max) * BLOCK_SIZE
+
+    def _charge_cpu(self, nbytes: int):
+        if self.vm is not None and self.params is not None:
+            yield from self.vm.cpu.consume(
+                self.params.app_cpu_per_io
+                + (self.params.app_cpu_per_byte + self.inline_cost_per_byte) * nbytes
+            )
+
+    def run(self):
+        """Process: setup pool, run transactions, return PostmarkResult."""
+        config = self.config
+        result = PostmarkResult()
+        yield from self.fs.mkdir(config.directory)
+        pool: list[str] = []
+        start = self.sim.now
+        for _ in range(config.file_count):
+            name = self._new_name()
+            size = self._random_size()
+            yield from self._charge_cpu(size)
+            yield from self.fs.write_file(name, size=size)
+            pool.append(name)
+            result.creations += 1
+            result.bytes_written += size
+        for _ in range(config.transactions):
+            action = self.rng.choice(["read", "append", "create", "delete"])
+            if action == "read" and pool:
+                name = self.rng.choice(pool)
+                data = yield from self.fs.read_file(name)
+                yield from self._charge_cpu(len(data))
+                result.reads += 1
+                result.bytes_read += len(data)
+            elif action == "append" and pool:
+                name = self.rng.choice(pool)
+                size = BLOCK_SIZE
+                yield from self._charge_cpu(size)
+                try:
+                    yield from self.fs.append_file(name, b"\x00" * size)
+                except FsError:
+                    continue  # file grew past the size cap
+                result.appends += 1
+                result.bytes_written += size
+            elif action == "create":
+                name = self._new_name()
+                size = self._random_size()
+                yield from self._charge_cpu(size)
+                yield from self.fs.write_file(name, size=size)
+                pool.append(name)
+                result.creations += 1
+                result.bytes_written += size
+            elif action == "delete" and len(pool) > 1:
+                name = pool.pop(self.rng.randint(0, len(pool) - 1))
+                yield from self._charge_cpu(0)
+                yield from self.fs.unlink(name)
+                result.deletions += 1
+        result.elapsed = self.sim.now - start
+        return result

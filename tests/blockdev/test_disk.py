@@ -1,0 +1,136 @@
+"""Disk model: timing, contents, bounds, queueing."""
+
+import pytest
+
+from repro.blockdev import Disk, Volume, VolumeGroup
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.sim import Simulator
+
+
+def make_disk(sim=None, **kw):
+    sim = sim or Simulator()
+    defaults = dict(
+        capacity=1024 * BLOCK_SIZE,
+        bandwidth=100_000_000,
+        access_latency=100e-6,
+        seek_penalty=400e-6,
+    )
+    defaults.update(kw)
+    return sim, Disk(sim, "sda", **defaults)
+
+
+def run_io(sim, gen):
+    return sim.run(until=sim.process(gen))
+
+
+def test_write_then_read_roundtrip():
+    sim, disk = make_disk()
+    payload = bytes(range(256)) * 16  # 4096 bytes
+    run_io(sim, disk.submit("write", 0, BLOCK_SIZE, payload))
+    data = run_io(sim, disk.submit("read", 0, BLOCK_SIZE))
+    assert data == payload
+
+
+def test_unwritten_space_reads_zero():
+    sim, disk = make_disk()
+    data = run_io(sim, disk.submit("read", 8 * BLOCK_SIZE, BLOCK_SIZE))
+    assert data == bytes(BLOCK_SIZE)
+
+
+def test_sequential_io_timing():
+    sim, disk = make_disk()
+    run_io(sim, disk.submit("write", 0, BLOCK_SIZE))
+    first = sim.now
+    # sequential: no seek penalty
+    run_io(sim, disk.submit("write", BLOCK_SIZE, BLOCK_SIZE))
+    second = sim.now - first
+    expected = 100e-6 + BLOCK_SIZE / 100_000_000
+    assert abs(second - expected) < 1e-9
+
+
+def test_random_io_pays_seek():
+    sim, disk = make_disk()
+    run_io(sim, disk.submit("write", 0, BLOCK_SIZE))
+    start = sim.now
+    run_io(sim, disk.submit("write", 100 * BLOCK_SIZE, BLOCK_SIZE))
+    elapsed = sim.now - start
+    assert elapsed == pytest.approx(100e-6 + 400e-6 + BLOCK_SIZE / 100_000_000)
+
+
+def test_queue_serializes_requests():
+    sim, disk = make_disk()
+    done = []
+
+    def io(tag):
+        yield from disk.submit("write", 0, BLOCK_SIZE)
+        done.append((tag, sim.now))
+
+    def spawn():
+        sim.process(io("a"))
+        sim.process(io("b"))
+        yield sim.timeout(0)
+
+    sim.process(spawn())
+    sim.run()
+    assert done[0][0] == "a"
+    assert done[1][1] > done[0][1]
+
+
+def test_bounds_and_alignment_validation():
+    sim, disk = make_disk()
+    with pytest.raises(ValueError, match="unaligned"):
+        run_io(sim, disk.submit("read", 100, BLOCK_SIZE))
+    with pytest.raises(ValueError, match="beyond device end"):
+        run_io(sim, disk.submit("read", 1024 * BLOCK_SIZE, BLOCK_SIZE))
+    with pytest.raises(ValueError, match="unknown op"):
+        run_io(sim, disk.submit("erase", 0, BLOCK_SIZE))
+    with pytest.raises(ValueError, match="data length"):
+        run_io(sim, disk.submit("write", 0, BLOCK_SIZE, b"short"))
+
+
+def test_stats_accounting():
+    sim, disk = make_disk()
+    run_io(sim, disk.submit("write", 0, 2 * BLOCK_SIZE))
+    run_io(sim, disk.submit("read", 0, BLOCK_SIZE))
+    assert disk.stats.writes == 1 and disk.stats.reads == 1
+    assert disk.stats.bytes_written == 2 * BLOCK_SIZE
+    assert disk.stats.bytes_read == BLOCK_SIZE
+    assert disk.stats.busy_time > 0
+
+
+def test_sync_access_does_not_advance_time():
+    sim, disk = make_disk()
+    disk.write_sync(0, b"\x01" * BLOCK_SIZE)
+    assert disk.read_sync(0, BLOCK_SIZE) == b"\x01" * BLOCK_SIZE
+    assert sim.now == 0
+
+
+def test_volume_translation_and_isolation():
+    sim, disk = make_disk()
+    group = VolumeGroup("vg0", disk)
+    vol1 = group.create_volume("vol1", 16 * BLOCK_SIZE)
+    vol2 = group.create_volume("vol2", 16 * BLOCK_SIZE)
+    vol1.write_sync(0, b"\xaa" * BLOCK_SIZE)
+    vol2.write_sync(0, b"\xbb" * BLOCK_SIZE)
+    assert vol1.read_sync(0, BLOCK_SIZE) == b"\xaa" * BLOCK_SIZE
+    assert vol2.read_sync(0, BLOCK_SIZE) == b"\xbb" * BLOCK_SIZE
+    # vol2 block 0 sits right after vol1's extent on the disk
+    assert disk.read_sync(16 * BLOCK_SIZE, BLOCK_SIZE) == b"\xbb" * BLOCK_SIZE
+
+
+def test_volume_bounds():
+    sim, disk = make_disk()
+    group = VolumeGroup("vg0", disk)
+    vol = group.create_volume("v", 4 * BLOCK_SIZE)
+    with pytest.raises(ValueError, match="beyond volume"):
+        run_io(sim, vol.read(4 * BLOCK_SIZE, BLOCK_SIZE))
+
+
+def test_volume_group_exhaustion_and_duplicates():
+    sim, disk = make_disk()
+    group = VolumeGroup("vg0", disk)
+    group.create_volume("v1", 1000 * BLOCK_SIZE)
+    with pytest.raises(ValueError, match="out of space"):
+        group.create_volume("v2", 100 * BLOCK_SIZE)
+    with pytest.raises(ValueError, match="already exists"):
+        group.create_volume("v1", BLOCK_SIZE)

@@ -1,0 +1,31 @@
+"""Address allocation."""
+
+import pytest
+
+from repro.cloud import AddressAllocator
+
+
+def test_macs_unique_and_formatted():
+    allocator = AddressAllocator()
+    macs = [allocator.next_mac() for _ in range(300)]
+    assert len(set(macs)) == 300
+    for mac in macs:
+        parts = mac.split(":")
+        assert len(parts) == 6
+        assert all(len(p) == 2 for p in parts)
+
+
+def test_ips_sequential_per_subnet():
+    allocator = AddressAllocator()
+    assert allocator.next_ip("10.0.0.0/24") == "10.0.0.1"
+    assert allocator.next_ip("10.0.0.0/24") == "10.0.0.2"
+    assert allocator.next_ip("172.16.1.0/24") == "172.16.1.1"
+
+
+def test_subnet_exhaustion():
+    allocator = AddressAllocator()
+    for _ in range(254):  # .1 through .254; .255 is broadcast
+        last = allocator.next_ip("192.168.0.0/24")
+    assert last == "192.168.0.254"
+    with pytest.raises(ValueError, match="exhausted"):
+        allocator.next_ip("192.168.0.0/24")

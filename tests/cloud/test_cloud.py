@@ -1,0 +1,161 @@
+"""Cloud substrate: topology building, VM boot, volume attach, CPU meter."""
+
+import pytest
+
+from repro.cloud import CloudController, CloudParams
+from repro.fs.layout import BLOCK_SIZE
+from repro.sim import Simulator
+
+
+def build_cloud(computes=2, storages=1):
+    sim = Simulator()
+    cloud = CloudController(sim)
+    for i in range(1, computes + 1):
+        cloud.add_compute_host(f"compute{i}")
+    for i in range(1, storages + 1):
+        cloud.add_storage_host(f"storage{i}")
+    return sim, cloud
+
+
+def test_hosts_get_unique_addresses():
+    sim, cloud = build_cloud(computes=3, storages=2)
+    ips = [h.storage_iface.ip for h in cloud.compute_hosts.values()]
+    ips += [h.storage_iface.ip for h in cloud.storage_hosts.values()]
+    assert len(set(ips)) == 5
+    macs = [h.storage_iface.mac for h in cloud.compute_hosts.values()]
+    assert len(set(macs)) == 3
+
+
+def test_duplicate_host_rejected():
+    sim, cloud = build_cloud()
+    with pytest.raises(ValueError, match="already exists"):
+        cloud.add_compute_host("compute1")
+
+
+def test_boot_vm_on_tenant_network():
+    sim, cloud = build_cloud()
+    tenant = cloud.create_tenant("acme")
+    vm = cloud.boot_vm(tenant, "vm1", cloud.compute_hosts["compute1"])
+    assert vm.ip.startswith("172.16.1.")
+    assert vm.cpu.cores == 2
+    assert "vm1" in tenant.vm_names
+
+
+def test_vms_across_hosts_can_talk():
+    """Instance network: VM on host1 reaches VM on host2 through the fabric."""
+    sim, cloud = build_cloud(computes=2)
+    tenant = cloud.create_tenant("acme")
+    vm1 = cloud.boot_vm(tenant, "vm1", cloud.compute_hosts["compute1"])
+    vm2 = cloud.boot_vm(tenant, "vm2", cloud.compute_hosts["compute2"])
+    from repro.net import TcpListener, TcpSocket
+
+    listener = TcpListener(sim, vm2.stack, vm2.ip, 8080)
+    result = {}
+
+    def server():
+        sock = yield listener.accept()
+        msg, _ = yield sock.recv()
+        result["got"] = msg
+
+    def client():
+        sock = TcpSocket(sim, vm1.stack, vm1.ip, vm1.stack.allocate_port())
+        yield sock.connect(vm2.ip, 8080)
+        sock.send("cross-host ping", 2000)
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert result["got"] == "cross-host ping"
+
+
+def test_create_and_attach_volume():
+    sim, cloud = build_cloud()
+    tenant = cloud.create_tenant("acme")
+    vm = cloud.boot_vm(tenant, "vm1", cloud.compute_hosts["compute1"])
+    cloud.create_volume(tenant, "vol1", 1024 * BLOCK_SIZE)
+    done = {}
+
+    def attach_and_io():
+        session = yield sim.process(cloud.attach_volume(vm, "vol1"))
+        yield session.write(0, BLOCK_SIZE, b"\x42" * BLOCK_SIZE)
+        done["data"] = yield session.read(0, BLOCK_SIZE)
+
+    sim.process(attach_and_io())
+    sim.run()
+    assert done["data"] == b"\x42" * BLOCK_SIZE
+    assert vm.device("vol1") is not None
+
+
+def test_hypervisor_attribution_records():
+    """The host knows VM↔IQN↔port, which is what StorM attribution reads."""
+    sim, cloud = build_cloud()
+    tenant = cloud.create_tenant("acme")
+    host = cloud.compute_hosts["compute1"]
+    vm = cloud.boot_vm(tenant, "vm1", host)
+    cloud.create_volume(tenant, "vol1", 256 * BLOCK_SIZE)
+
+    def attach():
+        yield sim.process(cloud.attach_volume(vm, "vol1"))
+
+    sim.process(attach())
+    sim.run()
+    record = host.hypervisor.attachment_for_iqn("iqn.2016-01.org.repro:vol1")
+    assert record.vm_name == "vm1"
+    assert record.local_port is not None
+    assert host.hypervisor.vm_of_port(record.local_port) == "vm1"
+
+
+def test_two_tenants_get_disjoint_subnets():
+    sim, cloud = build_cloud()
+    t1 = cloud.create_tenant("acme")
+    t2 = cloud.create_tenant("globex")
+    assert t1.subnet != t2.subnet
+
+
+def test_volume_placement_balances_by_usage():
+    sim, cloud = build_cloud(storages=2)
+    tenant = cloud.create_tenant("acme")
+    cloud.create_volume(tenant, "v1", 512 * BLOCK_SIZE)
+    cloud.create_volume(tenant, "v2", 512 * BLOCK_SIZE)
+    hosts = {cloud.volumes["v1"][1].name, cloud.volumes["v2"][1].name}
+    assert hosts == {"storage1", "storage2"}
+
+
+def test_cpu_meter_accounting_and_window():
+    sim = Simulator()
+    from repro.cloud import CpuMeter
+
+    cpu = CpuMeter(sim, "test", cores=2)
+
+    def burn():
+        yield from cpu.consume(1.0)
+
+    cpu.begin_window()
+    sim.process(burn())
+    sim.process(burn())
+    sim.process(burn())  # third waits for a free core
+    sim.run()
+    assert sim.now == 2.0
+    assert cpu.busy_time == 3.0
+    assert cpu.utilization() == pytest.approx(3.0 / 4.0)
+
+
+def test_cpu_meter_zero_consume_is_noop():
+    sim = Simulator()
+    from repro.cloud import CpuMeter
+
+    cpu = CpuMeter(sim, "t", cores=1)
+
+    def proc():
+        yield from cpu.consume(0)
+        yield sim.timeout(1)
+
+    sim.process(proc())
+    sim.run()
+    assert cpu.busy_time == 0
+
+
+def test_attach_unknown_volume_errors():
+    sim, cloud = build_cloud()
+    with pytest.raises(KeyError, match="unknown volume"):
+        cloud.volume_location("nope")

@@ -1,0 +1,145 @@
+"""Cipher correctness: FIPS-197 vectors, modes, stream cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    AES,
+    StreamCipher,
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_transform,
+    ecb_decrypt,
+    ecb_encrypt,
+)
+
+
+# -- FIPS-197 Appendix C known-answer vectors ------------------------------
+
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def test_aes128_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    assert AES(key).encrypt_block(FIPS_PLAINTEXT) == expected
+
+
+def test_aes192_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+    expected = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+    assert AES(key).encrypt_block(FIPS_PLAINTEXT) == expected
+
+
+def test_aes256_fips_vector():
+    key = bytes.fromhex(
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    )
+    expected = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+    cipher = AES(key)
+    assert cipher.encrypt_block(FIPS_PLAINTEXT) == expected
+    assert cipher.decrypt_block(expected) == FIPS_PLAINTEXT
+
+
+def test_bad_key_length_rejected():
+    with pytest.raises(ValueError, match="key"):
+        AES(b"short")
+
+
+def test_bad_block_length_rejected():
+    cipher = AES(b"k" * 32)
+    with pytest.raises(ValueError, match="block"):
+        cipher.encrypt_block(b"too short")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.sampled_from([16, 24, 32]))
+def test_aes_roundtrip_property(block, key_len):
+    cipher = AES(bytes(range(key_len)))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+# -- modes ------------------------------------------------------------------
+
+KEY = bytes(range(32))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=256).map(lambda b: b.ljust((len(b) + 15) // 16 * 16, b"\x00")))
+def test_ecb_roundtrip(data):
+    cipher = AES(KEY)
+    assert ecb_decrypt(cipher, ecb_encrypt(cipher, data)) == data
+
+
+def test_ecb_leaks_patterns_cbc_does_not():
+    cipher = AES(KEY)
+    data = b"\x00" * 32
+    ecb = ecb_encrypt(cipher, data)
+    assert ecb[:16] == ecb[16:]
+    cbc = cbc_encrypt(cipher, b"\x01" * 16, data)
+    assert cbc[:16] != cbc[16:]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=16, max_size=128).map(lambda b: b[: len(b) // 16 * 16]))
+def test_cbc_roundtrip(data):
+    cipher = AES(KEY)
+    iv = b"\x42" * 16
+    assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, data)) == data
+
+
+def test_ctr_is_self_inverse_and_positional():
+    cipher = AES(KEY)
+    data = bytes(range(256)) * 2
+    enc = ctr_transform(cipher, data, start_counter=100)
+    assert ctr_transform(cipher, enc, start_counter=100) == data
+    # decrypting the second half alone works (random access)
+    half = len(data) // 2
+    tail = ctr_transform(cipher, enc[half:], start_counter=100 + half // 16)
+    assert tail == data[half:]
+    # wrong position -> garbage
+    assert ctr_transform(cipher, enc, start_counter=0) != data
+
+
+def test_mode_validation():
+    cipher = AES(KEY)
+    with pytest.raises(ValueError, match="multiple"):
+        ecb_encrypt(cipher, b"123")
+    with pytest.raises(ValueError, match="IV"):
+        cbc_encrypt(cipher, b"short", b"\x00" * 16)
+
+
+# -- stream cipher -------------------------------------------------------------
+
+def test_stream_cipher_roundtrip_and_offsets():
+    cipher = StreamCipher(key=0xDEADBEEF)
+    data = bytes(range(256))
+    enc = cipher.transform(data, byte_offset=4096)
+    assert enc != data
+    assert cipher.transform(enc, byte_offset=4096) == data
+    # same data at a different offset encrypts differently
+    assert cipher.transform(data, byte_offset=8192) != enc
+
+
+def test_stream_cipher_random_access_slice():
+    cipher = StreamCipher()
+    data = bytes(range(64)) * 4
+    enc = cipher.transform(data, byte_offset=0)
+    # transform a middle slice independently
+    assert cipher.transform(enc[64:128], byte_offset=64) == data[64:128]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=0, max_size=300), st.integers(min_value=0, max_value=1 << 30))
+def test_stream_cipher_property(data, chunk):
+    cipher = StreamCipher(key=7)
+    offset = chunk * 8
+    assert cipher.transform(cipher.transform(data, offset), offset) == data
+
+
+def test_stream_cipher_rejects_bad_args():
+    with pytest.raises(ValueError, match="non-zero"):
+        StreamCipher(key=0)
+    with pytest.raises(ValueError, match="aligned"):
+        StreamCipher().transform(b"x", byte_offset=3)

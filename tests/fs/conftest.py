@@ -1,0 +1,25 @@
+"""Shared filesystem fixtures."""
+
+import pytest
+
+from repro.blockdev import Disk, VolumeGroup
+from repro.fs import ExtFilesystem, VolumeDevice
+from repro.fs.layout import BLOCK_SIZE
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fs_env():
+    """A formatted, mounted filesystem on a local volume."""
+    sim = Simulator()
+    disk = Disk(sim, "sda", capacity=8192 * BLOCK_SIZE)
+    group = VolumeGroup("vg0", disk)
+    volume = group.create_volume("vol1", 4096 * BLOCK_SIZE)
+    ExtFilesystem.mkfs(volume)
+    fs = ExtFilesystem(sim, VolumeDevice(sim, volume))
+    sim.run(until=sim.process(fs.mount()))
+    return sim, fs, volume
+
+
+def run(sim, gen):
+    return sim.run(until=sim.process(gen))

@@ -1,0 +1,213 @@
+"""Filesystem behaviour: files, directories, symlinks, errors."""
+
+import pytest
+
+from repro.fs import ExtFilesystem, FsError
+from repro.fs.inode import MAX_FILE_SIZE
+from repro.fs.layout import BLOCK_SIZE
+
+from tests.fs.conftest import run
+
+
+def test_mkfs_and_mount(fs_env):
+    sim, fs, volume = fs_env
+    assert fs.mounted
+    assert fs.sb.total_blocks == 4096
+
+
+def test_write_and_read_back(fs_env):
+    sim, fs, _ = fs_env
+    payload = b"hello world" * 100
+    run(sim, fs.write_file("/greeting.txt", payload))
+    assert run(sim, fs.read_file("/greeting.txt")) == payload
+
+
+def test_empty_root_listing(fs_env):
+    sim, fs, _ = fs_env
+    assert run(sim, fs.listdir("/")) == []
+
+
+def test_nested_directories(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.mkdir("/a"))
+    run(sim, fs.mkdir("/a/b"))
+    run(sim, fs.write_file("/a/b/deep.txt", b"x" * 10))
+    assert run(sim, fs.read_file("/a/b/deep.txt")) == b"x" * 10
+    assert run(sim, fs.listdir("/a")) == ["b"]
+
+
+def test_multiblock_file(fs_env):
+    sim, fs, _ = fs_env
+    payload = bytes(range(256)) * 16 * 5  # 5 blocks
+    run(sim, fs.write_file("/big.bin", payload))
+    assert run(sim, fs.read_file("/big.bin")) == payload
+
+
+def test_indirect_blocks_file(fs_env):
+    sim, fs, _ = fs_env
+    payload = b"\xab" * (20 * BLOCK_SIZE)  # needs 8 indirect pointers
+    run(sim, fs.write_file("/indirect.bin", payload))
+    assert run(sim, fs.read_file("/indirect.bin")) == payload
+    _ino, inode = run(sim, fs.stat("/indirect.bin"))
+    assert inode.indirect != 0
+
+
+def test_overwrite_frees_and_reuses(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/f", b"a" * (3 * BLOCK_SIZE)))
+    run(sim, fs.write_file("/f", b"b" * BLOCK_SIZE))
+    data = run(sim, fs.read_file("/f"))
+    assert data == b"b" * BLOCK_SIZE
+
+
+def test_append(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/log", b"x" * BLOCK_SIZE))
+    run(sim, fs.append_file("/log", b"y" * BLOCK_SIZE))
+    assert run(sim, fs.read_file("/log")) == b"x" * BLOCK_SIZE + b"y" * BLOCK_SIZE
+
+
+def test_unlink_removes_and_frees(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/gone", b"z" * BLOCK_SIZE))
+    run(sim, fs.unlink("/gone"))
+    assert run(sim, fs.listdir("/")) == []
+    with pytest.raises(FsError, match="no such"):
+        run(sim, fs.read_file("/gone"))
+
+
+def test_unlink_nonempty_dir_refused(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.mkdir("/d"))
+    run(sim, fs.write_file("/d/f", b"1"))
+    with pytest.raises(FsError, match="not empty"):
+        run(sim, fs.unlink("/d"))
+    run(sim, fs.unlink("/d/f"))
+    run(sim, fs.unlink("/d"))
+    assert run(sim, fs.listdir("/")) == []
+
+
+def test_rename_same_directory(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/old", b"content"))
+    run(sim, fs.rename("/old", "/new"))
+    assert run(sim, fs.listdir("/")) == ["new"]
+    assert run(sim, fs.read_file("/new")) == b"content"
+
+
+def test_rename_across_directories(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.mkdir("/src"))
+    run(sim, fs.mkdir("/dst"))
+    run(sim, fs.write_file("/src/f", b"move me"))
+    run(sim, fs.rename("/src/f", "/dst/g"))
+    assert run(sim, fs.listdir("/src")) == []
+    assert run(sim, fs.read_file("/dst/g")) == b"move me"
+
+
+def test_symlink_follow(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/target", b"real data"))
+    run(sim, fs.symlink("/target", "/link"))
+    assert run(sim, fs.read_file("/link")) == b"real data"
+
+
+def test_duplicate_create_rejected(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.create("/dup"))
+    with pytest.raises(FsError, match="already exists"):
+        run(sim, fs.create("/dup"))
+
+
+def test_missing_path_errors(fs_env):
+    sim, fs, _ = fs_env
+    with pytest.raises(FsError, match="no such"):
+        run(sim, fs.read_file("/nope"))
+    with pytest.raises(FsError, match="no such"):
+        run(sim, fs.write_file("/no/dir/file", b"x"))
+
+
+def test_file_as_directory_errors(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.write_file("/plain", b"x"))
+    with pytest.raises(FsError, match="not a directory"):
+        run(sim, fs.write_file("/plain/child", b"y"))
+
+
+def test_max_file_size_enforced(fs_env):
+    sim, fs, _ = fs_env
+    with pytest.raises(FsError, match="too large"):
+        run(sim, fs.write_file("/huge", size=MAX_FILE_SIZE + 1))
+
+
+def test_many_files_one_directory(fs_env):
+    """Directory growth across multiple dirent blocks."""
+    sim, fs, _ = fs_env
+    run(sim, fs.mkdir("/many"))
+    names = [f"file-{i:04d}.dat" for i in range(300)]
+    for name in names:
+        run(sim, fs.create(f"/many/{name}"))
+    listed = run(sim, fs.listdir("/many"))
+    assert sorted(listed) == sorted(names)
+    _ino, inode = run(sim, fs.stat("/many"))
+    assert inode.block_count > 1
+
+
+def test_exists(fs_env):
+    sim, fs, _ = fs_env
+    assert not run(sim, fs.exists("/x"))
+    run(sim, fs.create("/x"))
+    assert run(sim, fs.exists("/x"))
+
+
+def test_operations_advance_simulated_time(fs_env):
+    sim, fs, _ = fs_env
+    before = sim.now
+    run(sim, fs.write_file("/timed", b"q" * (4 * BLOCK_SIZE)))
+    assert sim.now > before
+
+
+def test_writeback_defers_data_blocks():
+    """Write-back mode: data blocks hit the device only at flush."""
+    from repro.blockdev import Disk, VolumeGroup
+    from repro.fs import VolumeDevice
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    disk = Disk(sim, "sda", capacity=4096 * BLOCK_SIZE)
+    volume = VolumeGroup("vg", disk).create_volume("v", 2048 * BLOCK_SIZE)
+    ExtFilesystem.mkfs(volume)
+    fs = ExtFilesystem(sim, VolumeDevice(sim, volume), writeback=True)
+    run(sim, fs.mount())
+    writes_before = disk.stats.writes
+    run(sim, fs.write_file("/buffered", b"d" * (2 * BLOCK_SIZE)))
+    # metadata (bitmap + inode + dirent) was written, data was not
+    data_blocks_written = disk.stats.bytes_written
+    flushed = run(sim, fs.flush())
+    assert flushed == 2
+    assert run(sim, fs.read_file("/buffered")) == b"d" * (2 * BLOCK_SIZE)
+
+
+def test_writeback_read_sees_pending_data():
+    from repro.blockdev import Disk, VolumeGroup
+    from repro.fs import VolumeDevice
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    disk = Disk(sim, "sda", capacity=4096 * BLOCK_SIZE)
+    volume = VolumeGroup("vg", disk).create_volume("v", 2048 * BLOCK_SIZE)
+    ExtFilesystem.mkfs(volume)
+    fs = ExtFilesystem(sim, VolumeDevice(sim, volume), writeback=True)
+    run(sim, fs.mount())
+    run(sim, fs.write_file("/pending", b"p" * BLOCK_SIZE))
+    # not yet flushed, but reads must see the buffered content
+    assert run(sim, fs.read_file("/pending")) == b"p" * BLOCK_SIZE
+
+
+def test_op_log_records_operations(fs_env):
+    sim, fs, _ = fs_env
+    run(sim, fs.mkdir("/d"))
+    run(sim, fs.write_file("/d/f", b"1234"))
+    run(sim, fs.read_file("/d/f"))
+    ops = [entry[0] for entry in fs.op_log]
+    assert ops == ["mkdir", "create", "write", "read"]

@@ -1,0 +1,127 @@
+"""fsck: clean filesystems verify; injected corruption is detected."""
+
+import pytest
+
+from repro.fs import ExtFilesystem
+from repro.fs.fsck import fsck
+from repro.fs.inode import Inode, MODE_FILE
+from repro.fs.layout import BLOCK_SIZE, ROOT_INODE
+
+from tests.fs.conftest import run
+
+
+def test_fresh_filesystem_is_clean(fs_env):
+    sim, fs, volume = fs_env
+    report = fsck(volume)
+    assert report.clean, report.errors
+    assert report.inodes_checked == 1  # just the root
+
+
+def test_populated_filesystem_is_clean(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.mkdir("/d"))
+    run(sim, fs.write_file("/d/small", b"x" * BLOCK_SIZE))
+    run(sim, fs.write_file("/d/large", b"y" * (20 * BLOCK_SIZE)))  # indirect
+    run(sim, fs.symlink("/d/small", "/link"))
+    report = fsck(volume)
+    assert report.clean, report.errors
+    assert report.inodes_checked == 5
+
+
+def test_clean_after_churn(fs_env):
+    """Create/delete/rename/overwrite churn leaves no leaks or orphans."""
+    sim, fs, volume = fs_env
+    run(sim, fs.mkdir("/work"))
+    for i in range(10):
+        run(sim, fs.write_file(f"/work/f{i}", b"\x01" * ((i % 4 + 1) * BLOCK_SIZE)))
+    for i in range(0, 10, 2):
+        run(sim, fs.unlink(f"/work/f{i}"))
+    run(sim, fs.rename("/work/f1", "/work/renamed"))
+    run(sim, fs.write_file("/work/f3", b"\x02" * BLOCK_SIZE))  # shrink via rewrite
+    run(sim, fs.overwrite_file("/work/renamed", b"\x03" * BLOCK_SIZE))
+    report = fsck(volume)
+    assert report.clean, report.errors
+
+
+def test_detects_leaked_block(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/victim", b"z" * BLOCK_SIZE))
+    # corrupt: clear the file's block pointer without freeing the block
+    sb = fs.sb
+    block_no, offset = sb.inode_location(3)  # first allocated after root
+    raw = bytearray(volume.read_sync(block_no * BLOCK_SIZE, BLOCK_SIZE))
+    inode = Inode.unpack(bytes(raw[offset : offset + 256]))
+    assert inode.mode == MODE_FILE
+    inode.direct[0] = 0
+    inode.size = 0
+    raw[offset : offset + 256] = inode.pack()
+    volume.write_sync(block_no * BLOCK_SIZE, bytes(raw))
+    report = fsck(volume)
+    assert not report.clean
+    assert any("leak" in e for e in report.errors)
+
+
+def test_detects_double_referenced_block(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/a", b"a" * BLOCK_SIZE))
+    run(sim, fs.write_file("/b", b"b" * BLOCK_SIZE))
+    sb = fs.sb
+    # point /b's inode at /a's data block
+    block_no, offset_a = sb.inode_location(3)
+    _, offset_b = sb.inode_location(4)
+    raw = bytearray(volume.read_sync(block_no * BLOCK_SIZE, BLOCK_SIZE))
+    inode_a = Inode.unpack(bytes(raw[offset_a : offset_a + 256]))
+    inode_b = Inode.unpack(bytes(raw[offset_b : offset_b + 256]))
+    inode_b.direct[0] = inode_a.direct[0]
+    raw[offset_b : offset_b + 256] = inode_b.pack()
+    volume.write_sync(block_no * BLOCK_SIZE, bytes(raw))
+    report = fsck(volume)
+    assert any("referenced by both" in e for e in report.errors)
+    assert any("leak" in e for e in report.errors)  # b's real block now leaked
+
+
+def test_detects_dangling_directory_entry(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/ghost", b"g" * BLOCK_SIZE))
+    sb = fs.sb
+    # free the inode in the bitmap but leave the dirent in place
+    bitmap_block = sb.inode_bitmap_block(0)
+    raw = bytearray(volume.read_sync(bitmap_block * BLOCK_SIZE, BLOCK_SIZE))
+    raw[0] &= ~(1 << 2)  # inode 3 = bit index 2
+    volume.write_sync(bitmap_block * BLOCK_SIZE, bytes(raw))
+    report = fsck(volume)
+    assert any("free in bitmap" in e for e in report.errors)
+
+
+def test_detects_bad_superblock():
+    from repro.blockdev import Disk, VolumeGroup
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    disk = Disk(sim, "sda", capacity=64 * BLOCK_SIZE)
+    volume = VolumeGroup("vg", disk).create_volume("v", 32 * BLOCK_SIZE)
+    report = fsck(volume)  # never formatted
+    assert not report.clean
+    assert any("superblock" in e for e in report.errors)
+
+
+def test_overwrite_file_roundtrip(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/f", b"\x01" * (3 * BLOCK_SIZE)))
+    run(sim, fs.overwrite_file("/f", b"\x02" * BLOCK_SIZE, offset=BLOCK_SIZE))
+    data = run(sim, fs.read_file("/f"))
+    assert data == b"\x01" * BLOCK_SIZE + b"\x02" * BLOCK_SIZE + b"\x01" * BLOCK_SIZE
+
+
+def test_overwrite_validation(fs_env):
+    from repro.fs import FsError
+
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/f", b"\x01" * BLOCK_SIZE))
+    with pytest.raises(FsError, match="beyond"):
+        run(sim, fs.overwrite_file("/f", b"\x02" * (2 * BLOCK_SIZE)))
+    with pytest.raises(FsError, match="aligned"):
+        run(sim, fs.overwrite_file("/f", b"x", offset=100))
+    run(sim, fs.mkdir("/d"))
+    with pytest.raises(FsError, match="regular file"):
+        run(sim, fs.overwrite_file("/d", b"x" * BLOCK_SIZE))

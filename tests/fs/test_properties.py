@@ -1,0 +1,113 @@
+"""Property-based tests on the filesystem's on-disk structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.directory import entries_fit, pack_dirents, unpack_dirents
+from repro.fs.inode import (
+    DIRECT_POINTERS,
+    Inode,
+    MODE_DIR,
+    MODE_FILE,
+    MODE_SYMLINK,
+    pack_indirect_block,
+    unpack_indirect_block,
+    unpack_inode_table_block,
+)
+from repro.fs.layout import BLOCK_SIZE, INODE_SIZE, SuperBlock, choose_geometry
+
+
+names = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="/\x00"),
+    min_size=1,
+    max_size=40,
+).filter(lambda s: 0 < len(s.encode()) <= 255)
+
+entries_lists = st.lists(
+    st.tuples(names, st.integers(min_value=1, max_value=2**31 - 1)),
+    max_size=40,
+).filter(entries_fit)
+
+
+@settings(max_examples=50, deadline=None)
+@given(entries_lists)
+def test_dirent_roundtrip(entries):
+    assert unpack_dirents(pack_dirents(entries)) == entries
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from([MODE_FILE, MODE_DIR, MODE_SYMLINK]),
+    st.integers(min_value=0, max_value=2**40),
+    st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    st.lists(st.integers(min_value=0, max_value=2**31 - 1), min_size=DIRECT_POINTERS, max_size=DIRECT_POINTERS),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_inode_roundtrip(mode, size, mtime, direct, indirect):
+    inode = Inode(mode=mode, links=1, size=size, mtime=mtime, direct=direct, indirect=indirect)
+    packed = inode.pack()
+    assert len(packed) == INODE_SIZE
+    restored = Inode.unpack(packed)
+    assert restored == inode
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**31 - 1), max_size=1024))
+def test_indirect_block_roundtrip(pointers):
+    raw = pack_indirect_block(pointers)
+    assert len(raw) == BLOCK_SIZE
+    restored = unpack_indirect_block(raw)
+    assert restored[: len(pointers)] == pointers
+    assert all(p == 0 for p in restored[len(pointers) :])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=100, max_value=10_000_000),
+    st.integers(min_value=16, max_value=32768),
+    st.integers(min_value=16, max_value=8192),
+)
+def test_superblock_roundtrip(total, bpg, ipg):
+    ipg -= ipg % 16 or 16  # keep a multiple of 16
+    ipg = max(16, ipg)
+    sb = SuperBlock(total, bpg, ipg, max(1, (total - 1) // bpg))
+    assert SuperBlock.unpack(sb.pack()) == sb
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=16, max_value=5_000_000))
+def test_geometry_invariants(total_blocks):
+    sb = choose_geometry(total_blocks)
+    # groups fit in the device
+    assert sb.group_start(sb.num_groups - 1) < total_blocks
+    # the inode table never overlaps the data region
+    assert sb.data_start(0) > sb.inode_table_start(0)
+    # inode <-> location mapping is self-consistent for a sample of inodes
+    for ino in (1, 2, sb.inodes_per_group, sb.max_inodes):
+        block, offset = sb.inode_location(ino)
+        group = sb.group_of_inode(ino)
+        assert sb.inode_table_start(group) <= block < sb.data_start(group)
+        assert offset % INODE_SIZE == 0
+        # first_inode_of_table_block inverts the block part
+        first = sb.first_inode_of_table_block(block)
+        assert first <= ino < first + BLOCK_SIZE // INODE_SIZE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=100_000))
+def test_inode_table_block_parse_consistency(seed):
+    import random
+
+    rng = random.Random(seed)
+    inodes = []
+    raw = bytearray()
+    for _ in range(16):
+        inode = Inode(
+            mode=rng.choice([0, MODE_FILE, MODE_DIR]),
+            links=rng.randint(0, 5),
+            size=rng.randint(0, 1 << 30),
+        )
+        inodes.append(inode)
+        raw.extend(inode.pack())
+    parsed = unpack_inode_table_block(bytes(raw))
+    assert parsed == inodes

@@ -1,0 +1,85 @@
+"""dump_layout / FilesystemView: the dumpe2fs equivalent."""
+
+from repro.fs import BlockClass, dump_layout
+from repro.fs.layout import BLOCK_SIZE
+
+from tests.fs.conftest import run
+
+
+def test_dump_classifies_geometry(fs_env):
+    sim, fs, volume = fs_env
+    view = dump_layout(volume)
+    sb = view.sb
+    assert view.classify(0) is BlockClass.SUPERBLOCK
+    assert view.classify(sb.block_bitmap_block(0)) is BlockClass.BLOCK_BITMAP
+    assert view.classify(sb.inode_bitmap_block(0)) is BlockClass.INODE_BITMAP
+    assert view.classify(sb.inode_table_start(0)) is BlockClass.INODE_TABLE
+
+
+def test_dump_maps_files_to_blocks(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.mkdir("/docs"))
+    run(sim, fs.write_file("/docs/a.txt", b"a" * (2 * BLOCK_SIZE)))
+    view = dump_layout(volume, mount_point="/mnt/box")
+    ino = view.children[2]["docs"]
+    assert view.display_path(ino) == "/mnt/box/docs"
+    file_ino = view.children[ino]["a.txt"]
+    assert view.display_path(file_ino) == "/mnt/box/docs/a.txt"
+    inode = view.inodes[file_ino]
+    for block in inode.direct[:2]:
+        assert view.classify(block) is BlockClass.DATA
+        assert view.owner_of(block).ino == file_ino
+
+
+def test_dump_classifies_directory_blocks(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.mkdir("/d"))
+    view = dump_layout(volume)
+    dir_ino = view.children[2]["d"]
+    dir_block = view.inodes[dir_ino].direct[0]
+    assert view.classify(dir_block) is BlockClass.DIRECTORY
+
+
+def test_dump_tracks_indirect_blocks(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/big", b"b" * (16 * BLOCK_SIZE)))
+    view = dump_layout(volume)
+    ino = view.children[2]["big"]
+    inode = view.inodes[ino]
+    assert view.classify(inode.indirect) is BlockClass.INDIRECT
+    # blocks reached via the indirect block are owned data
+    owner = view.owner_of(inode.direct[0])
+    assert owner.ino == ino and owner.kind == "data"
+
+
+def test_unknown_block_unclassified(fs_env):
+    sim, fs, volume = fs_env
+    view = dump_layout(volume)
+    some_free_data_block = view.sb.data_start(0) + 500
+    assert view.classify(some_free_data_block) is BlockClass.UNKNOWN
+
+
+def test_view_set_directory_entries_updates_paths(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.mkdir("/d"))
+    run(sim, fs.write_file("/d/f", b"x"))
+    view = dump_layout(volume)
+    dir_ino = view.children[2]["d"]
+    file_ino = view.children[dir_ino]["f"]
+    # simulate an observed rename: f -> g
+    view.set_directory_entries(dir_ino, [("g", file_ino)])
+    assert view.path_of(file_ino) == "/d/g"
+    # and an observed delete
+    view.set_directory_entries(dir_ino, [])
+    assert view.path_of(file_ino) is None
+
+
+def test_forget_inode_clears_ownership(fs_env):
+    sim, fs, volume = fs_env
+    run(sim, fs.write_file("/f", b"y" * BLOCK_SIZE))
+    view = dump_layout(volume)
+    ino = view.children[2]["f"]
+    block = view.inodes[ino].direct[0]
+    view.forget_inode(ino)
+    assert view.classify(block) is BlockClass.UNKNOWN
+    assert view.path_of(ino) is None

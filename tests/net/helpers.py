@@ -1,0 +1,25 @@
+"""Small topology builders shared by net-layer tests."""
+
+from repro.net import ArpTable, Interface, Link, Node, Switch
+from repro.sim import Simulator
+
+
+def make_host(sim, arp, name, ip, mac, switch, port_name=None, **link_kw):
+    """A one-NIC node cabled into ``switch``; returns the node."""
+    node = Node(sim, name)
+    iface = Interface(f"{name}.eth0", mac, ip)
+    node.add_interface(iface, arp)
+    node.stack.add_route("0.0.0.0/0", iface)
+    sw_port = switch.add_port(port_name or name)
+    Link(sim, iface, sw_port, **link_kw)
+    return node
+
+
+def two_hosts_one_switch(sim=None):
+    """host-a <-> sw <-> host-b on 10.0.0.0/24."""
+    sim = sim or Simulator()
+    arp = ArpTable("testnet")
+    switch = Switch(sim, "sw")
+    a = make_host(sim, arp, "host-a", "10.0.0.1", "aa:00:00:00:00:01", switch)
+    b = make_host(sim, arp, "host-b", "10.0.0.2", "aa:00:00:00:00:02", switch)
+    return sim, arp, switch, a, b

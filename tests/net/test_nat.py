@@ -1,0 +1,105 @@
+"""NAT rule and conntrack behaviour (the splicing building block)."""
+
+from repro.net import NatRule, NatTable, Packet
+
+
+def packet(src_ip="10.0.0.1", src_port=5000, dst_ip="10.0.0.9", dst_port=3260):
+    return Packet(
+        src_mac="m:s",
+        dst_mac="m:d",
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+    )
+
+
+def test_dnat_rewrites_destination():
+    table = NatTable()
+    table.install(NatRule(match_dst_ip="10.0.0.9", match_dst_port=3260, dnat_ip="10.0.0.50"))
+    pkt = packet()
+    assert table.translate(pkt)
+    assert (pkt.dst_ip, pkt.dst_port) == ("10.0.0.50", 3260)
+    assert (pkt.src_ip, pkt.src_port) == ("10.0.0.1", 5000)
+
+
+def test_snat_and_dnat_together():
+    table = NatTable()
+    table.install(
+        NatRule(
+            match_dst_port=3260,
+            snat_ip="172.16.0.10",
+            dnat_ip="172.16.0.20",
+            dnat_port=3260,
+        )
+    )
+    pkt = packet()
+    table.translate(pkt)
+    assert (pkt.src_ip, pkt.src_port) == ("172.16.0.10", 5000)
+    assert (pkt.dst_ip, pkt.dst_port) == ("172.16.0.20", 3260)
+
+
+def test_no_match_leaves_packet_untouched():
+    table = NatTable()
+    table.install(NatRule(match_dst_port=80, dnat_ip="1.2.3.4"))
+    pkt = packet()
+    assert not table.translate(pkt)
+    assert pkt.dst_ip == "10.0.0.9"
+
+
+def test_reply_direction_untranslated_back():
+    table = NatTable()
+    table.install(NatRule(match_dst_port=3260, snat_ip="172.16.0.10", dnat_ip="172.16.0.20"))
+    fwd = packet()
+    table.translate(fwd)
+    reply = packet(src_ip="172.16.0.20", src_port=3260, dst_ip="172.16.0.10", dst_port=5000)
+    assert table.translate(reply)
+    # reply must be rewritten back to the original endpoints
+    assert (reply.src_ip, reply.src_port) == ("10.0.0.9", 3260)
+    assert (reply.dst_ip, reply.dst_port) == ("10.0.0.1", 5000)
+
+
+def test_conntrack_survives_rule_removal():
+    """The property the atomic volume-attach protocol relies on."""
+    table = NatTable()
+    table.install(NatRule(match_dst_port=3260, dnat_ip="172.16.0.20", cookie="attach"))
+    first = packet()
+    table.translate(first)
+    assert table.remove_by_cookie("attach") == 1
+    # same connection keeps translating via conntrack
+    later = packet()
+    assert table.translate(later)
+    assert later.dst_ip == "172.16.0.20"
+    # but a *new* connection no longer matches
+    fresh = packet(src_port=6000)
+    assert not table.translate(fresh)
+    assert fresh.dst_ip == "10.0.0.9"
+
+
+def test_distinct_connections_get_distinct_entries():
+    table = NatTable()
+    table.install(NatRule(match_dst_port=3260, dnat_ip="172.16.0.20"))
+    table.translate(packet(src_port=5000))
+    table.translate(packet(src_port=5001))
+    assert len(table.conntrack) == 2
+
+
+def test_conntrack_forget():
+    table = NatTable()
+    table.install(NatRule(match_dst_port=3260, dnat_ip="172.16.0.20"))
+    pkt = packet()
+    original = packet().five_tuple
+    table.translate(pkt)
+    table.conntrack.forget(original)
+    assert len(table.conntrack) == 0
+    reply = packet(src_ip="172.16.0.20", src_port=3260, dst_ip="10.0.0.1", dst_port=5000)
+    # reply entry gone too: translate falls through to rules (no match)
+    assert not table.translate(reply)
+
+
+def test_match_on_source_fields():
+    table = NatTable()
+    table.install(NatRule(match_src_ip="10.0.0.1", match_src_port=5000, dnat_ip="9.9.9.9"))
+    hit, miss = packet(), packet(src_port=5001)
+    assert table.translate(hit) and hit.dst_ip == "9.9.9.9"
+    assert not table.translate(miss)
