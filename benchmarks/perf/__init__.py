@@ -1,0 +1,15 @@
+"""Wall-clock performance harness for the simulation kernel.
+
+Unlike the figure/table benchmarks (which check *simulated-time*
+results against the paper), this suite measures how fast the simulator
+itself runs: raw event churn, deferred-queue churn, a TCP transfer
+over the full network stack, and an end-to-end MB-ACTIVE fio run.
+
+Run it with::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_bench
+
+which writes ``BENCH_kernel.json`` at the repo root, comparing against
+the recorded pre-optimization baseline in ``baseline_seed.json`` so
+every PR leaves a measured perf trajectory.
+"""

@@ -1,0 +1,95 @@
+"""Run the kernel microbenchmarks and write ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run_bench [--quick]
+        [--output PATH] [--baseline PATH] [--record-baseline]
+
+``--record-baseline`` overwrites the stored pre-optimization numbers
+(``benchmarks/perf/baseline_seed.json``); everything else compares the
+current kernel against them and records both, so the JSON carries the
+full perf trajectory: baseline wall-clock, current wall-clock, and the
+speedup per scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from benchmarks.perf.scenarios import run_all
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline_seed.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sizes (CI smoke)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the baseline instead of comparing to one",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_all(quick=args.quick)
+
+    if args.record_baseline:
+        payload = {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+            "scenarios": current,
+        }
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline recorded -> {args.baseline}")
+        return 0
+
+    baseline = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        if baseline.get("quick") != args.quick:
+            # sizes differ; wall-clock ratios would be apples-to-oranges
+            print(
+                f"note: baseline was recorded with quick={baseline.get('quick')}, "
+                f"this run uses quick={args.quick}; skipping speedup comparison"
+            )
+            baseline = None
+
+    report: dict = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "scenarios": current,
+    }
+    if baseline is not None:
+        report["baseline"] = baseline["scenarios"]
+        speedups = {}
+        for name, metrics in current.items():
+            base = baseline["scenarios"].get(name)
+            if base and base.get("wall_s") and metrics.get("wall_s"):
+                speedups[name] = base["wall_s"] / metrics["wall_s"]
+        report["speedup"] = speedups
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for name, metrics in current.items():
+        line = (
+            f"  {name:16s} wall={metrics['wall_s']:8.3f}s "
+            f"events/s={metrics['events_per_s']:>12,.0f}"
+        )
+        if baseline is not None and name in report.get("speedup", {}):
+            line += f"  speedup={report['speedup'][name]:.2f}x"
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

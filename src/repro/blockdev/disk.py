@@ -61,7 +61,7 @@ class Disk:
     def set_queue_depth(self, depth: int) -> None:
         """Replace the device queue (only while idle) — used to model a
         cache-backed target that services requests in parallel."""
-        if self._queue.count or self._queue.queue:
+        if self._queue.count or self._queue.waiting:
             raise RuntimeError("cannot resize a busy device queue")
         self.queue_depth = depth
         self._queue = Resource(self.sim, capacity=depth)

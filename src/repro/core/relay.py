@@ -411,7 +411,10 @@ class ActiveRelay:
             # response is ignored by the initiator)
             if pair.login_pdu is not None:
                 client.send(pair.login_pdu, pair.login_pdu.wire_size)
-            for entry in sorted(self.nvm.values(), key=lambda e: e.entry_id):
+            # the journal dict is keyed by a monotone entry_id and only
+            # ever appended to / popped from, so insertion order IS
+            # arrival order — no need to sort on every reconnect
+            for entry in list(self.nvm.values()):
                 if entry.direction == "upstream" and entry.pdu is not None:
                     self.pdus_replayed += 1
                     self._send_tracked_safe(client, entry.pdu, entry)

@@ -92,13 +92,14 @@ class Link:
     def _pump(self, src: Interface, dst: Interface):
         """Serialize queued packets one at a time, then deliver after latency."""
         queue = self._queues[src]
+        deliver = dst.deliver
+        timeout = self.sim.timeout
         while True:
             packet: Packet = yield queue.get()
             serialize = packet.size / self.bandwidth + self.per_packet_overhead
-            yield self.sim.timeout(serialize)
-            self.sim.process(self._deliver_later(dst, packet))
-
-    def _deliver_later(self, dst: Interface, packet: Packet):
-        """Propagation happens in parallel with the next serialization."""
-        yield self.sim.timeout(self.latency)
-        dst.deliver(packet)
+            yield timeout(serialize)
+            # Propagation happens in parallel with the next serialization:
+            # one timeout callback per packet, no per-packet Process.
+            timeout(self.latency).callbacks.append(
+                lambda _event, packet=packet: deliver(packet)
+            )

@@ -97,14 +97,25 @@ class ConnTrack:
 
 
 class NatTable:
-    """An iptables-like NAT chain applied by a node's IP stack."""
+    """An iptables-like NAT chain applied by a node's IP stack.
+
+    The per-flow match decision is precomputed: a positive decision
+    lives in conntrack (as before), and a *negative* one — this flow
+    matches no rule at this hook — is cached so established flows stop
+    paying the rule scan on every packet.  Installing a rule flushes
+    the negative cache (new rules can only add matches; removals can't
+    turn a non-match into a match, and translated flows stay pinned by
+    conntrack anyway).
+    """
 
     def __init__(self):
         self.rules: list[NatRule] = []
         self.conntrack = ConnTrack()
+        self._no_match: set[tuple] = set()
 
     def install(self, rule: NatRule) -> None:
         self.rules.append(rule)
+        self._no_match.clear()
 
     def remove_by_cookie(self, cookie: str) -> int:
         before = len(self.rules)
@@ -117,17 +128,23 @@ class NatTable:
         Established connections use their conntrack entry even after the
         originating rule is removed; new connections consult the rules.
         """
-        hit = self.conntrack.lookup(packet.five_tuple)
+        conntrack = self.conntrack
+        if not self.rules and not conntrack._forward and not conntrack._reply:
+            return False  # nothing ever installed on this node
+        five_tuple = packet.five_tuple
+        hit = conntrack.lookup(five_tuple)
         if hit is not None:
             _direction, translation = hit
             self._apply(packet, translation)
             return True
+        flow_key = (hook, five_tuple)
+        if flow_key in self._no_match:
+            return False
         for rule in self.rules:
             if rule.hook not in ("any", hook) and hook != "any":
                 continue
             if not rule.matches(packet):
                 continue
-            original = packet.five_tuple
             translation = _Translation(
                 rule.snat_ip if rule.snat_ip is not None else packet.src_ip,
                 rule.snat_port if rule.snat_port is not None else packet.src_port,
@@ -135,8 +152,9 @@ class NatTable:
                 rule.dnat_port if rule.dnat_port is not None else packet.dst_port,
             )
             self._apply(packet, translation)
-            self.conntrack.record(original, packet.five_tuple)
+            conntrack.record(five_tuple, packet.five_tuple)
             return True
+        self._no_match.add(flow_key)
         return False
 
     @staticmethod

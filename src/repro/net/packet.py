@@ -32,7 +32,7 @@ class FiveTuple(NamedTuple):
         return FiveTuple(self.protocol, self.dst_ip, self.dst_port, self.src_ip, self.src_port)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A frame in flight.  Mutable: NAT and ``mod_dst_mac`` rewrite it."""
 

@@ -24,6 +24,9 @@ if TYPE_CHECKING:
 
 BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
 
+#: Filled on first use by :meth:`NetworkStack._deliver_local`.
+_TcpSegment = None
+
 
 class ArpTable:
     """IP→MAC resolution for one L2 domain (one network of Fig. 1)."""
@@ -91,6 +94,10 @@ class NetworkStack:
         self.ip_forward = False
         #: Extra per-packet delay when forwarding (software IP path).
         self.forward_delay: float = 0.0
+        #: dst_ip -> Route (or None) memo; cleared when routes change.
+        self._route_cache: dict[str, Optional[Route]] = {}
+        #: cached set of local interface IPs; rebuilt when NICs change.
+        self._local_ips: set[str] = set()
         self._arp_by_iface: dict[str, ArpTable] = {}
         self._sockets: dict[tuple[str, int, str, int], "TcpSocket"] = {}
         self._listeners: dict[int, "TcpListener"] = {}
@@ -108,6 +115,8 @@ class NetworkStack:
     # -- configuration -------------------------------------------------
 
     def register_interface(self, iface: Interface, arp: Optional[ArpTable]) -> None:
+        if iface.ip is not None:
+            self._local_ips.add(iface.ip)
         if arp is not None:
             self._arp_by_iface[iface.name] = arp
             if iface.ip is not None:
@@ -116,9 +125,11 @@ class NetworkStack:
     def add_route(self, cidr: str, iface: Interface, via: Optional[str] = None) -> None:
         self.routes.append(Route(ipaddress.ip_network(cidr), iface, via))
         self.routes.sort(key=lambda r: -r.prefixlen)
+        self._route_cache.clear()
 
     def local_ips(self) -> set[str]:
-        return {i.ip for i in self.node.interfaces if i.ip is not None}
+        self._local_ips = {i.ip for i in self.node.interfaces if i.ip is not None}
+        return self._local_ips
 
     #: Globally unique ephemeral ports: source ports identify flows at
     #: gateways and in steering rules, so cross-host collisions (two
@@ -150,10 +161,11 @@ class NetworkStack:
     # -- data plane ------------------------------------------------------
 
     def handle_receive(self, packet: Packet, iface: Interface) -> None:
-        for tap in self.packet_taps:
-            tap(packet, iface)
+        if self.packet_taps:
+            for tap in self.packet_taps:
+                tap(packet, iface)
         self.nat.translate(packet, hook="prerouting")
-        if packet.dst_ip in self.local_ips():
+        if packet.dst_ip in self._local_ips:
             self._deliver_local(packet)
             return
         if self.ip_forward:
@@ -198,17 +210,26 @@ class NetworkStack:
         route.iface.send(packet)
 
     def _lookup_route(self, dst_ip: str) -> Optional[Route]:
+        try:
+            return self._route_cache[dst_ip]
+        except KeyError:
+            pass
         address = ipaddress.ip_address(dst_ip)
+        found = None
         for route in self.routes:  # sorted by prefix length, longest first
             if address in route.network:
-                return route
-        return None
+                found = route
+                break
+        self._route_cache[dst_ip] = found
+        return found
 
     def _deliver_local(self, packet: Packet) -> None:
-        from repro.net.tcp import TcpSegment  # local import to avoid a cycle
+        global _TcpSegment
+        if _TcpSegment is None:  # deferred import to avoid a cycle
+            from repro.net.tcp import TcpSegment as _TcpSegment  # noqa: F811
 
         segment = packet.payload
-        if not isinstance(segment, TcpSegment):
+        if not isinstance(segment, _TcpSegment):
             self.dropped_packets += 1
             return
         key = (packet.dst_ip, packet.dst_port, packet.src_ip, packet.src_port)

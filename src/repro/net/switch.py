@@ -91,27 +91,56 @@ class FlowRule:
         return True
 
 
+#: Cache-miss marker (a rule can legitimately resolve to ``None``).
+_MISS = object()
+
+
 class FlowTable:
-    """Priority-ordered rule set with cookie-based removal."""
+    """Priority-ordered rule set with cookie-based removal.
+
+    Lookups are memoized per *flow*: every header field a rule can
+    match on goes into the cache key, so packets of an established
+    flow skip the linear rule scan.  The cache is flushed whenever the
+    rule set changes.
+    """
 
     def __init__(self):
         self.rules: list[FlowRule] = []
+        self._decision_cache: dict[tuple, Optional[FlowRule]] = {}
 
     def install(self, rule: FlowRule) -> None:
         self.rules.append(rule)
         self.rules.sort(key=lambda r: -r.priority)
+        self._decision_cache.clear()
 
     def remove_by_cookie(self, cookie: str) -> int:
         before = len(self.rules)
         self.rules = [r for r in self.rules if r.cookie != cookie]
+        self._decision_cache.clear()
         return before - len(self.rules)
 
     def lookup(self, packet: Packet, in_port: str) -> Optional[FlowRule]:
-        for rule in self.rules:
-            if rule.matches(packet, in_port):
-                rule.hits += 1
-                return rule
-        return None
+        key = (
+            in_port,
+            packet.src_mac,
+            packet.dst_mac,
+            packet.src_ip,
+            packet.dst_ip,
+            packet.src_port,
+            packet.dst_port,
+            packet.protocol,
+        )
+        rule = self._decision_cache.get(key, _MISS)
+        if rule is _MISS:
+            rule = None
+            for candidate in self.rules:
+                if candidate.matches(packet, in_port):
+                    rule = candidate
+                    break
+            self._decision_cache[key] = rule
+        if rule is not None:
+            rule.hits += 1
+        return rule
 
     def __len__(self) -> int:
         return len(self.rules)
@@ -127,6 +156,7 @@ class Switch:
         self.ports: dict[str, Interface] = {}
         self.flow_table = FlowTable()
         self._mac_table: dict[str, str] = {}  # mac -> port name
+        self._port_names: dict[Interface, str] = {}  # reverse of ports
         self.controller: Optional[Callable[["Switch", Packet, str], None]] = None
         self.packets_switched = 0
 
@@ -138,13 +168,14 @@ class Switch:
         iface = Interface(f"{self.name}.{name}", mac or f"sw:{self.name}:{name}")
         iface.owner = self
         self.ports[name] = iface
+        self._port_names[iface] = name
         return iface
 
     def port_of(self, iface: Interface) -> str:
-        for port_name, port_iface in self.ports.items():
-            if port_iface is iface:
-                return port_name
-        raise ValueError(f"interface {iface.name} is not a port of {self.name}")
+        name = self._port_names.get(iface)
+        if name is None:
+            raise ValueError(f"interface {iface.name} is not a port of {self.name}")
+        return name
 
     # -- data plane ----------------------------------------------------
 
@@ -153,13 +184,18 @@ class Switch:
         self._mac_table[packet.src_mac] = in_port
         self.packets_switched += 1
         packet.record_hop(self.name)
-        self.sim.process(self._forward_after_delay(packet, in_port))
-
-    def _forward_after_delay(self, packet: Packet, in_port: str):
-        if self.forwarding_delay:
-            yield self.sim.timeout(self.forwarding_delay)
-        self._apply_pipeline(packet, in_port)
-        return None
+        # Schedule the pipeline directly off a timeout callback — one
+        # heap entry per packet instead of a whole Process + bootstrap.
+        delay = self.forwarding_delay
+        if delay:
+            self.sim.timeout(delay).callbacks.append(
+                lambda _event: self._apply_pipeline(packet, in_port)
+            )
+        else:
+            # keep the one-tick deferral a zero-delay process used to give
+            self.sim.event().succeed().callbacks.append(
+                lambda _event: self._apply_pipeline(packet, in_port)
+            )
 
     def _apply_pipeline(self, packet: Packet, in_port: str) -> None:
         rule = self.flow_table.lookup(packet, in_port)

@@ -15,6 +15,7 @@ ACK loop and restores throughput.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -37,7 +38,7 @@ RESET = object()
 EOF = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     kind: str  # syn | syn-ack | ack | data | fin | rst
     seq: int = 0
@@ -116,18 +117,23 @@ class TcpSocket:
         self.established_event: Event = sim.event()
         self._tx_queue = Store(sim)
         self._rx_store = Store(sim)
-        # sender-side accounting
+        # sender-side accounting.  At most one process (the sender) ever
+        # blocks on the window, so a single waiter slot suffices.
         self._sent_bytes = 0
         self._acked_bytes = 0
-        self._window_waiters: list[Event] = []
+        self._window_waiter: Optional[Event] = None
         # receiver-side accounting
         self._rx_bytes = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self._sender_started = False
         # delivery notification (peer ACKed a whole message) — used by
-        # the active relay's NVM buffer to know when it may discard
-        self._message_thresholds: dict[int, int] = {}
+        # the active relay's NVM buffer to know when it may discard.
+        # Thresholds are monotone (the sender records them in byte
+        # order), so an ordered deque is popped from the left per ACK
+        # instead of scanning every in-flight message.
+        self._message_thresholds: deque[tuple[int, int]] = deque()  # (threshold, id)
+        self._threshold_by_id: dict[int, int] = {}
         self._delivery_events: dict[int, Event] = {}
         #: when set, data segments bypass the message queue and are
         #: handed to this callback one segment at a time (cut-through
@@ -179,10 +185,9 @@ class TcpSocket:
         # free the 4-tuple so a reconnection can bind it
         self.stack.unbind_socket(self)
         self._deliver_sentinel(RESET)
-        for waiter in self._window_waiters:
-            if not waiter.triggered:
-                waiter.succeed()
-        self._window_waiters.clear()
+        waiter, self._window_waiter = self._window_waiter, None
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed()
         if not self.established_event.triggered:
             self.established_event.fail(ConnectionReset("reset during handshake"))
 
@@ -225,7 +230,7 @@ class TcpSocket:
         if event is None:
             event = self.sim.event()
             self._delivery_events[message_id] = event
-            threshold = self._message_thresholds.get(message_id)
+            threshold = self._threshold_by_id.get(message_id)
             if threshold is not None and threshold <= self._acked_bytes:
                 event.succeed()
         return event
@@ -246,7 +251,8 @@ class TcpSocket:
                 sent = yield from self._send_streamed(handle)
             if not sent:
                 return  # connection reset mid-message
-            self._message_thresholds[message_id] = self._sent_bytes
+            self._message_thresholds.append((self._sent_bytes, message_id))
+            self._threshold_by_id[message_id] = self._sent_bytes
 
     def _send_message(self, message_id: int, message: Any, size: int):
         offset = 0
@@ -282,9 +288,9 @@ class TcpSocket:
         return True
 
     def _await_window(self, chunk: int):
-        while self._in_flight() + chunk > self.window:
+        while self._sent_bytes - self._acked_bytes + chunk > self.window:
             waiter = self.sim.event()
-            self._window_waiters.append(waiter)
+            self._window_waiter = waiter
             yield waiter
             if self.state == "reset":
                 return False
@@ -334,17 +340,14 @@ class TcpSocket:
             return
         if segment.kind == "ack":
             if segment.ack > self._acked_bytes:
-                self._acked_bytes = segment.ack
-                waiters, self._window_waiters = self._window_waiters, []
-                for waiter in waiters:
-                    if not waiter.triggered:
-                        waiter.succeed()
-                for message_id in [
-                    m
-                    for m, threshold in self._message_thresholds.items()
-                    if threshold <= self._acked_bytes
-                ]:
-                    del self._message_thresholds[message_id]
+                acked = self._acked_bytes = segment.ack
+                waiter, self._window_waiter = self._window_waiter, None
+                if waiter is not None and not waiter.triggered:
+                    waiter.succeed()
+                thresholds = self._message_thresholds
+                while thresholds and thresholds[0][0] <= acked:
+                    _threshold, message_id = thresholds.popleft()
+                    del self._threshold_by_id[message_id]
                     event = self._delivery_events.pop(message_id, None)
                     if event is not None and not event.triggered:
                         event.succeed()

@@ -1,16 +1,35 @@
 """Event loop, events, and generator-based processes.
 
-Time is a float in **seconds**.  Events are scheduled onto a heap keyed
-by ``(time, sequence)`` so same-time events fire in FIFO order, which
-keeps runs reproducible.
+Time is a float in **seconds**.  Timed events are scheduled onto a
+heap keyed by ``(time, sequence)``; *same-time* occurrences (an event
+``succeed()``-ed now, a process resume, a zero-delay timeout) go onto
+a deferred FIFO ``deque`` instead, bypassing the heap entirely — only
+true timeouts pay ``heapq`` cost.  One global sequence counter spans
+both queues, so the execution order is the exact FIFO order a pure
+heap would produce and runs stay reproducible.
+
+Process bookkeeping is allocation-light: bootstraps, resumes off
+already-processed events, and interrupts are entries on the deferred
+queue rather than throwaway ``Event`` objects, and an interrupted wait
+is *lazily* cancelled (the stale trigger is ignored on arrival)
+instead of paying ``list.remove`` on the event's callback list.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 _UNSET = object()
+
+# Deferred-queue entry kinds (index 1 of each entry tuple).
+_DEFERRED_EVENT = 0      # (seq, kind, event)
+_DEFERRED_RESUME = 1     # (seq, kind, process, value, ok, epoch)
+_DEFERRED_INTERRUPT = 2  # (seq, kind, process, cause)
+
+#: Epoch marker for resumes that must never be invalidated (bootstrap).
+_ANY_EPOCH = -1
 
 
 class SimulationError(Exception):
@@ -31,6 +50,8 @@ class Event:
     An event is *triggered* by :meth:`succeed` or :meth:`fail`; the
     simulator then runs its callbacks at the current simulation time.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "ok", "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -56,7 +77,7 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET:
             raise SimulationError("event already triggered")
         self._value = value
         self.ok = True
@@ -64,7 +85,7 @@ class Event:
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _UNSET:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() needs an exception instance")
@@ -76,6 +97,8 @@ class Event:
 
 class Timeout(Event):
     """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
@@ -89,6 +112,8 @@ class Timeout(Event):
 
 class _ConditionBase(Event):
     """Shared machinery for AllOf/AnyOf."""
+
+    __slots__ = ("events", "_fired")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -123,6 +148,8 @@ class _ConditionBase(Event):
 class AllOf(_ConditionBase):
     """Fires once every constituent event has fired."""
 
+    __slots__ = ()
+
     def _check_done(self) -> None:
         if self._fired == len(self.events):
             self.succeed(self._results())
@@ -130,6 +157,8 @@ class AllOf(_ConditionBase):
 
 class AnyOf(_ConditionBase):
     """Fires once any constituent event has fired."""
+
+    __slots__ = ()
 
     def _check_done(self) -> None:
         if self._fired >= 1 or not self.events:
@@ -142,17 +171,23 @@ class Process(Event):
     The generator yields :class:`Event` objects; the process resumes
     when the yielded event triggers, receiving the event's value (or
     having the event's exception thrown in, if it failed).
+
+    Waits are cancelled lazily: :meth:`interrupt` clears
+    ``_waiting_on`` and bumps ``_epoch``; a later trigger from an
+    abandoned event (identity mismatch) or a stale deferred resume
+    (epoch mismatch) is simply ignored.
     """
+
+    __slots__ = ("_generator", "name", "_waiting_on", "_epoch")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
         super().__init__(sim)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
+        self._epoch = 0
         # Kick off on the next tick of the loop at the current time.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        sim._defer_resume(self, None, True, _ANY_EPOCH)
 
     @property
     def is_alive(self) -> bool:
@@ -160,28 +195,47 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _UNSET:
             return
-        target = self._waiting_on
-        if target is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        # Abandon whatever we were waiting on; the stale trigger (event
+        # callback or deferred resume) is discarded when it arrives.
         self._waiting_on = None
-        wakeup = Event(self.sim)
-        wakeup._interrupt_cause = cause  # type: ignore[attr-defined]
-        wakeup.callbacks.append(self._resume)
-        wakeup.succeed()
+        self._epoch += 1
+        self.sim._defer_interrupt(self, cause)
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        if trigger is not self._waiting_on:
+            return  # lazily-cancelled wait: this trigger was abandoned
+        self._waiting_on = None
+        if trigger.ok:
+            value = trigger._value
+            self._step(None if value is _UNSET else value, True, None)
+        else:
+            self._step(trigger._value, False, None)
+
+    def _deferred_resume(self, value: Any, ok: bool, epoch: int) -> None:
+        if epoch != _ANY_EPOCH and epoch != self._epoch:
+            return  # interrupted after this resume was queued
+        if self._value is not _UNSET:
             return
         self._waiting_on = None
+        self._step(value, ok, None)
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if self._value is not _UNSET:
+            return
+        self._waiting_on = None
+        self._epoch += 1  # invalidate any resume queued before the throw
+        self._step(None, True, Interrupt(cause))
+
+    def _step(self, value: Any, ok: bool, interrupt: Interrupt | None) -> None:
         try:
-            if hasattr(trigger, "_interrupt_cause"):
-                target = self._generator.throw(Interrupt(trigger._interrupt_cause))
-            elif trigger.ok:
-                target = self._generator.send(trigger.value if trigger._value is not _UNSET else None)
+            if interrupt is not None:
+                target = self._generator.throw(interrupt)
+            elif ok:
+                target = self._generator.send(value)
             else:
-                target = self._generator.throw(trigger.value)
+                target = self._generator.throw(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -197,32 +251,46 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, which is not an Event"
             )
-        if target.processed:
-            # Already-processed event: resume immediately at current time.
-            immediate = Event(self.sim)
-            immediate.callbacks.append(self._resume)
-            immediate._value = target._value
-            immediate.ok = target.ok
-            self.sim._schedule(immediate)
-            self._waiting_on = immediate
+        if target._processed:
+            # Already-processed event: resume at the current time via the
+            # deferred queue — no throwaway Event allocation.
+            self.sim._defer_resume(self, target._value, target.ok, self._epoch)
             return
         self._waiting_on = target
         target.callbacks.append(self._resume)
 
 
 class Simulator:
-    """The event loop: virtual clock plus a time-ordered event heap."""
+    """The event loop: virtual clock, a deferred FIFO for same-time
+    occurrences, and a time-ordered heap for true timeouts."""
+
+    __slots__ = ("now", "_heap", "_deferred", "_sequence")
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        self._deferred: deque = deque()
         self._sequence = 0
 
     # -- scheduling --------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
-        self._sequence += 1
+        seq = self._sequence
+        self._sequence = seq + 1
+        if delay == 0.0:
+            self._deferred.append((seq, _DEFERRED_EVENT, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, seq, event))
+
+    def _defer_resume(self, process: Process, value: Any, ok: bool, epoch: int) -> None:
+        seq = self._sequence
+        self._sequence = seq + 1
+        self._deferred.append((seq, _DEFERRED_RESUME, process, value, ok, epoch))
+
+    def _defer_interrupt(self, process: Process, cause: Any) -> None:
+        seq = self._sequence
+        self._sequence = seq + 1
+        self._deferred.append((seq, _DEFERRED_INTERRUPT, process, cause))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
@@ -242,7 +310,27 @@ class Simulator:
     # -- execution ---------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next occurrence (deferred entry or heap
+        event), in global ``sequence`` order for same-time entries."""
+        deferred = self._deferred
+        if deferred:
+            heap = self._heap
+            # Deferred entries always sit at the current time; a heap
+            # event only goes first if it fires now with an older seq.
+            if not (heap and heap[0][0] <= self.now and heap[0][1] < deferred[0][0]):
+                entry = deferred.popleft()
+                kind = entry[1]
+                if kind == _DEFERRED_EVENT:
+                    event = entry[2]
+                    event._processed = True
+                    callbacks, event.callbacks = event.callbacks, []
+                    for callback in callbacks:
+                        callback(event)
+                elif kind == _DEFERRED_RESUME:
+                    entry[2]._deferred_resume(entry[3], entry[4], entry[5])
+                else:
+                    entry[2]._deliver_interrupt(entry[3])
+                return
         when, _seq, event = heapq.heappop(self._heap)
         if when < self.now:
             raise SimulationError("time went backwards")
@@ -253,14 +341,13 @@ class Simulator:
             callback(event)
 
     def run(self, until: float | Event | None = None) -> Any:
-        """Run until the heap drains, ``until`` seconds, or an event fires.
-
-        Returns the event's value when ``until`` is an Event.
+        """Run until both queues drain, ``until`` seconds, or an event
+        fires.  Returns the event's value when ``until`` is an Event.
         """
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._heap:
+            while not stop._processed:
+                if not self._heap and not self._deferred:
                     raise SimulationError(
                         "simulation ran out of events before the awaited event fired"
                     )
@@ -269,9 +356,15 @@ class Simulator:
                 raise stop.value
             return stop.value
         horizon = float(until) if until is not None else None
-        while self._heap:
-            when = self._heap[0][0]
-            if horizon is not None and when > horizon:
+        heap = self._heap
+        deferred = self._deferred
+        while True:
+            if deferred:
+                self.step()
+                continue
+            if not heap:
+                break
+            if horizon is not None and heap[0][0] > horizon:
                 break
             self.step()
         if horizon is not None and horizon > self.now:

@@ -4,6 +4,11 @@
 queue slots).  :class:`Store` is an unbounded FIFO of items with
 blocking ``get`` — the building block for mailboxes, NIC queues, and
 socket receive buffers.
+
+Grant/release bookkeeping is O(1) amortized: requests carry their own
+state instead of being searched for in lists, and a request released
+while still queued is cancelled *lazily* — it stays in the deque and
+is skipped when it reaches the front.
 """
 
 from __future__ import annotations
@@ -13,56 +18,82 @@ from typing import Any, Deque
 
 from repro.sim.core import Event, SimulationError, Simulator
 
+#: Request lifecycle states.
+_QUEUED = 0
+_GRANTED = 1
+_RELEASED = 2
+_CANCELLED = 3
+
 
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "_state")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
+        self._state = _QUEUED
 
 
 class Resource:
     """``capacity`` interchangeable slots, granted FIFO."""
+
+    __slots__ = ("sim", "capacity", "count", "queue", "_waiting")
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
-        self.users: list[Request] = []
+        #: number of slots currently held
+        self.count = 0
         self.queue: Deque[Request] = deque()
+        #: live (non-cancelled) queued requests; ``queue`` may be longer
+        self._waiting = 0
 
     @property
-    def count(self) -> int:
-        """Number of slots currently held."""
-        return len(self.users)
+    def waiting(self) -> int:
+        """Number of requests still queued (cancelled ones excluded)."""
+        return self._waiting
 
     def request(self) -> Request:
         req = Request(self)
-        if len(self.users) < self.capacity:
-            self.users.append(req)
+        if self.count < self.capacity:
+            req._state = _GRANTED
+            self.count += 1
             req.succeed()
         else:
             self.queue.append(req)
+            self._waiting += 1
         return req
 
     def release(self, request: Request) -> None:
-        if request in self.users:
-            self.users.remove(request)
-        elif request in self.queue:
-            self.queue.remove(request)
-            return
+        state = request._state
+        if state == _GRANTED:
+            request._state = _RELEASED
+            self.count -= 1
+            queue = self.queue
+            while queue and self.count < self.capacity:
+                nxt = queue.popleft()
+                if nxt._state != _QUEUED:
+                    continue  # released while waiting: lazily dropped here
+                nxt._state = _GRANTED
+                self._waiting -= 1
+                self.count += 1
+                nxt.succeed()
+        elif state == _QUEUED:
+            # cancel-in-place; the entry is skipped when it surfaces
+            request._state = _CANCELLED
+            self._waiting -= 1
         else:
             raise SimulationError("releasing a request that was never granted")
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self.queue.popleft()
-            self.users.append(nxt)
-            nxt.succeed()
 
 
 class Store:
     """Unbounded FIFO of items; ``get`` blocks until an item exists."""
+
+    __slots__ = ("sim", "items", "_getters")
 
     def __init__(self, sim: Simulator):
         self.sim = sim

@@ -1,0 +1,58 @@
+"""Determinism regression tests for the figure-reproduction pipeline.
+
+The kernel fast paths (deferred FIFO, per-packet timeout callbacks,
+flow caches) must not change *simulated-time* results by even one ULP:
+same-time event ordering is part of the reproduction's contract.  Two
+layers of protection:
+
+1. run-twice identity — a fresh testbed produces bit-identical results
+   on repeat runs in the same process;
+2. recorded seed values — results still equal the values measured on
+   the pre-optimization kernel (``seed_reference.json``, captured
+   before the fast paths landed).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.harness import LEGACY, MB_ACTIVE, fio_point
+
+REFERENCE = json.loads(
+    (Path(__file__).parent / "seed_reference.json").read_text()
+)
+
+
+def _snapshot(result) -> dict:
+    return {
+        "iops": result.iops,
+        "mean_latency": result.latency.mean,
+        "p99_latency": result.latency.p(99),
+        "elapsed": result.elapsed,
+        "completed": result.completed,
+        "errors": result.errors,
+    }
+
+
+def test_mb_active_fio_run_twice_identical():
+    """The representative MB-ACTIVE scenario is exactly repeatable."""
+    first = _snapshot(fio_point(MB_ACTIVE, 16 * 1024, 1, 60))
+    second = _snapshot(fio_point(MB_ACTIVE, 16 * 1024, 1, 60))
+    assert first == second
+
+
+@pytest.mark.parametrize(
+    "key,mode,io_size,threads,ios",
+    [
+        ("LEGACY/16k/1t", LEGACY, 16 * 1024, 1, 60),
+        ("MB-ACTIVE-RELAY/16k/1t", MB_ACTIVE, 16 * 1024, 1, 60),
+        # multi-segment PDUs exercise the streamed cut-through path
+        ("MB-ACTIVE-RELAY/64k/1t", MB_ACTIVE, 64 * 1024, 1, 40),
+    ],
+)
+def test_simulated_results_match_seed_kernel(key, mode, io_size, threads, ios):
+    """Bit-identical to the values recorded on the pre-optimization
+    kernel — IOPS, latency, and elapsed simulated time."""
+    got = _snapshot(fio_point(mode, io_size, threads, ios))
+    assert got == REFERENCE[key], f"simulated results diverged from seed for {key}"
