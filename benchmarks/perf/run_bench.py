@@ -37,7 +37,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="store this run as the baseline instead of comparing to one",
     )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        metavar="REF_JSON",
+        help="assert this run matches a recorded BENCH_kernel.json: "
+        "identical event counts and simulated time per scenario (the "
+        "machine-independent proof the fast path's behaviour is "
+        "unchanged), and wall-clock within --tolerance of the recording",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed fractional wall-clock regression for --check-against "
+        "(use a loose value on machines other than the one that recorded "
+        "the reference)",
+    )
     args = parser.parse_args(argv)
+
+    # snapshot the reference before anything runs: --output may point at
+    # the same file (CI overwrites BENCH_kernel.json in the worktree and
+    # then checks against the committed recording)
+    reference = None
+    if args.check_against is not None:
+        reference = json.loads(args.check_against.read_text())
 
     current = run_all(quick=args.quick)
 
@@ -88,6 +113,57 @@ def main(argv: list[str] | None = None) -> int:
         if baseline is not None and name in report.get("speedup", {}):
             line += f"  speedup={report['speedup'][name]:.2f}x"
         print(line)
+
+    if reference is not None:
+        return check_against(
+            current, reference, args.check_against, args.quick, args.tolerance
+        )
+    return 0
+
+
+def check_against(
+    current: dict, reference: dict, ref_path: Path, quick: bool, tolerance: float
+) -> int:
+    """Compare ``current`` scenarios against a recorded report.
+
+    Event counts and simulated elapsed time must match *exactly* — the
+    recovery machinery added on top of the kernel (retransmission
+    timers, fault hooks) must be zero-overhead when switched off, which
+    means the loss-free event stream is bit-identical to the recording.
+    Wall-clock only has to stay within ``tolerance``.
+    """
+    if reference.get("quick") != quick:
+        print(
+            f"check FAILED: reference {ref_path} was recorded with "
+            f"quick={reference.get('quick')}, this run uses quick={quick}"
+        )
+        return 1
+    failures = []
+    for name, ref in reference["scenarios"].items():
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: scenario missing from this run")
+            continue
+        for field in ("events", "sim_elapsed"):
+            if got.get(field) != ref.get(field):
+                failures.append(
+                    f"{name}: {field} diverged "
+                    f"(ref={ref.get(field)!r}, got={got.get(field)!r})"
+                )
+        if got["wall_s"] > ref["wall_s"] * (1.0 + tolerance):
+            failures.append(
+                f"{name}: wall-clock regressed beyond {tolerance:.0%} "
+                f"(ref={ref['wall_s']:.3f}s, got={got['wall_s']:.3f}s)"
+            )
+    if failures:
+        print(f"check vs {ref_path} FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(
+        f"check vs {ref_path} OK: event streams identical, "
+        f"wall-clock within {tolerance:.0%}"
+    )
     return 0
 
 

@@ -1,6 +1,15 @@
 """Measurement and reporting helpers for the evaluation harness."""
 
+from repro.analysis.events import EventLog, EventRecord
 from repro.analysis.metrics import LatencyStats, Timeline, percentile
 from repro.analysis.report import format_table, normalize
 
-__all__ = ["LatencyStats", "Timeline", "format_table", "normalize", "percentile"]
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "LatencyStats",
+    "Timeline",
+    "format_table",
+    "normalize",
+    "percentile",
+]

@@ -7,12 +7,13 @@ over iSCSI by :mod:`repro.iscsi`.  Disks store real bytes (sparse, at
 verifiable, and charge simulated service time per operation.
 """
 
-from repro.blockdev.disk import Disk, DiskStats
+from repro.blockdev.disk import Disk, DiskIOError, DiskStats
 from repro.blockdev.volume import Volume, VolumeGroup
 from repro.blockdev.snapshot import SnapshotVolume, SnapshottableVolume
 
 __all__ = [
     "Disk",
+    "DiskIOError",
     "DiskStats",
     "SnapshotVolume",
     "SnapshottableVolume",

@@ -22,6 +22,11 @@ DEFAULT_ACCESS_LATENCY = 100e-6
 DEFAULT_SEEK_PENALTY = 400e-6
 
 
+class DiskIOError(Exception):
+    """A medium error: the device failed the request after the access
+    attempt (injected by :mod:`repro.faults`)."""
+
+
 @dataclass
 class DiskStats:
     reads: int = 0
@@ -29,6 +34,7 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_time: float = 0.0
+    errors: int = 0
 
 
 class Disk:
@@ -57,6 +63,10 @@ class Disk:
         self._blocks: dict[int, bytes] = {}
         self._last_end_offset = 0
         self.stats = DiskStats()
+        #: fault-injection hook: ``hook(op, offset, length) -> bool``;
+        #: True fails the I/O with :class:`DiskIOError` after the
+        #: simulated access time.  ``None`` (the default) is free.
+        self.fault_hook = None
 
     def set_queue_depth(self, depth: int) -> None:
         """Replace the device queue (only while idle) — used to model a
@@ -80,6 +90,9 @@ class Disk:
             self._last_end_offset = offset + length
             self.stats.busy_time += service
             yield self.sim.timeout(service)
+            if self.fault_hook is not None and self.fault_hook(op, offset, length):
+                self.stats.errors += 1
+                raise DiskIOError(f"{op} error at offset {offset} on {self.name}")
             if op == "write":
                 self.stats.writes += 1
                 self.stats.bytes_written += length

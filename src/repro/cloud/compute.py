@@ -87,10 +87,19 @@ class ComputeHost(Node):
             initiator_iqn=f"iqn.2016-01.org.repro:{name}",
             mss=params.mss,
             window=params.tcp_window,
+            reliable=params.tcp_reliable,
+            rto=params.tcp_rto,
+            max_retransmits=params.tcp_max_retransmits,
+            recover=params.iscsi_session_recovery,
+            max_relogins=params.iscsi_max_relogins,
+            relogin_backoff=params.iscsi_relogin_backoff,
         )
         self.hypervisor = Hypervisor(name)
         self.vms: dict[str, VirtualMachine] = {}
         self._vm_port_counter = 0
+        # capacity accounting for provisioned service VMs (middle-boxes)
+        self.committed_vcpus = 0
+        self.committed_memory_mb = 0
 
     # -- VM lifecycle -----------------------------------------------------
 

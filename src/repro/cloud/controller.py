@@ -166,6 +166,22 @@ class CloudController:
             )
         return iface
 
+    def unplug_instance_iface(self, node: Node, host: ComputeHost) -> None:
+        """Reverse of :meth:`plug_instance_iface`: detach the service
+        node's NIC from the host OVS and retire its addresses.  Works
+        on crashed nodes too (their ``iface.link`` is already None)."""
+        port = host.ovs.remove_port(f"svc-{node.name}")
+        for iface in node.interfaces:
+            link = iface.link
+            if link is not None and port is not None and (
+                link.a is port or link.b is port
+            ):
+                iface.link = None
+            if iface.ip is not None:
+                self.instance_arp.unregister(iface.ip)
+        if port is not None:
+            port.link = None
+
     def plug_storage_iface(self, node: Node) -> Interface:
         """Attach a new NIC on ``node`` to the storage network."""
         iface = Interface(

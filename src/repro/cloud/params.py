@@ -27,6 +27,18 @@ class CloudParams:
     # -- TCP -----------------------------------------------------------
     mss: int = 4096
     tcp_window: int = 49152
+    #: loss tolerance (off by default: the stock fabric is lossless and
+    #: the retransmission machinery must cost nothing when unused)
+    tcp_reliable: bool = False
+    tcp_rto: float = 0.05
+    tcp_max_retransmits: int = 8
+
+    # -- failure recovery (repro.faults chaos runs) --------------------
+    #: automatic iSCSI session re-login (same source 4-tuple, bounded
+    #: exponential backoff) instead of failing all pending commands
+    iscsi_session_recovery: bool = False
+    iscsi_max_relogins: int = 5
+    iscsi_relogin_backoff: float = 0.05
 
     # -- IP forwarding software paths ----------------------------------
     gateway_forward_delay: float = 6e-6

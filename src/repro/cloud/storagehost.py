@@ -46,6 +46,9 @@ class StorageHost(Node):
             cpu=self.cpu,
             mss=params.mss,
             window=params.tcp_window,
+            reliable=params.tcp_reliable,
+            rto=params.tcp_rto,
+            max_retransmits=params.tcp_max_retransmits,
         )
 
     def create_volume(self, name: str, size: int) -> Volume:

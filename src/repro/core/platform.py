@@ -136,8 +136,36 @@ class StorM:
         mb.install_service(self.service_factories[spec.kind](spec, self))
         if mb.relay_mode is RelayMode.PASSIVE:
             mb.relay = PassiveRelay(self.sim, mb, self.cloud.params)
+        host.committed_vcpus += mb.vcpus
+        host.committed_memory_mb += mb.memory_mb
         self.middleboxes[name] = mb
         return mb
+
+    def deprovision_middlebox(self, mb: MiddleBox) -> None:
+        """Tear a middle-box VM down and return its resources.
+
+        The box must not be part of any live flow's chain — detach or
+        reconfigure the flow first.  Crashed boxes can (and should) be
+        deprovisioned: their NIC is already dark, but the OVS port,
+        ARP entries, and committed capacity still need reclaiming.
+        """
+        for flow in self.flows:
+            if mb in flow.middleboxes:
+                raise PolicyError(
+                    f"middle-box {mb.name} is still in the chain of "
+                    f"{flow.vm_name}:{flow.volume_name}; detach first"
+                )
+        if self.middleboxes.pop(mb.name, None) is None:
+            return  # already deprovisioned
+        if mb.relay is not None and hasattr(mb.relay, "shutdown"):
+            mb.relay.shutdown()
+        mb.relay = None
+        mb.stack.forward_hook = None
+        host = self.cloud.compute_hosts.get(mb.host_name)
+        if host is not None:
+            self.cloud.unplug_instance_iface(mb, host)
+            host.committed_vcpus -= mb.vcpus
+            host.committed_memory_mb -= mb.memory_mb
 
     def _configure_active_relay(
         self, mb: MiddleBox, gateways: GatewayPair, port: int

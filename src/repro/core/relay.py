@@ -24,7 +24,7 @@ from typing import Callable, Optional
 
 from repro.cloud.params import CloudParams
 from repro.core.middlebox import MiddleBox, payload_bytes
-from repro.iscsi.pdu import ISCSI_PORT, LoginRequestPdu
+from repro.iscsi.pdu import ISCSI_PORT, LoginRequestPdu, ScsiCommandPdu, ScsiResponsePdu
 from repro.net.nat import NatRule
 from repro.net.packet import Packet
 from repro.net.tcp import ConnectionReset, EOF, RESET, TcpListener, TcpSegment, TcpSocket
@@ -85,6 +85,10 @@ class NvmEntry:
     pdu: object
     direction: str
     stored_at: float
+    #: (vm-side remote_ip, remote_port) — identifies the flow, so a
+    #: middle-box restart can replay exactly this flow's entries on the
+    #: re-established pair (NVM survives the crash)
+    flow: tuple = ()
 
 
 @dataclass
@@ -96,6 +100,9 @@ class RelayPair:
     client: TcpSocket
     reconnects: int = 0
     closed: bool = False  # the VM side ended the flow; no recovery
+    #: the relay itself reset the VM side (downstream unrecoverable) —
+    #: the journal is kept, unlike a genuine VM-initiated close
+    abandoned: bool = False
     login_pdu: object = None  # remembered for session re-establishment
 
 
@@ -134,8 +141,17 @@ class ActiveRelay:
         self.recover_downstream = recover_downstream
         self.max_reconnects = max_reconnects
         self.reconnect_delay = reconnect_delay
-        #: the NVM journal: PDUs received but not yet ACKed by next hop
+        #: optional :class:`repro.analysis.EventLog` for recovery timelines
+        self.event_log = None
+        #: the NVM journal: PDUs received but not yet ACKed by next hop.
+        #: For SCSI commands "ACKed" means *responded to* — a TCP ACK
+        #: only proves the next hop's socket buffered the bytes, not
+        #: that the target executed the command, so a crash between the
+        #: two would lose a write the relay already ACKed to the VM.
         self.nvm: dict[int, NvmEntry] = {}
+        #: task_tag -> entry_id for journaled upstream commands, so the
+        #: matching downstream response retires the right entry
+        self._command_entries: dict[int, int] = {}
         self.nvm_peak = 0
         self.pdus_relayed = 0
         self.pdus_replayed = 0
@@ -159,6 +175,9 @@ class ActiveRelay:
             egress_port,
             mss=params.mss,
             window=params.tcp_window,
+            reliable=params.tcp_reliable,
+            rto=params.tcp_rto,
+            max_retransmits=params.tcp_max_retransmits,
         )
         sim.process(self._accept_loop(), name=f"active-relay:{middlebox.name}")
 
@@ -180,7 +199,14 @@ class ActiveRelay:
             local_port=server_sock.remote_port,
             mss=self.params.mss,
             window=self.params.tcp_window,
+            reliable=self.params.tcp_reliable,
+            rto=self.params.tcp_rto,
+            max_retransmits=self.params.tcp_max_retransmits,
         )
+
+    def _log(self, kind: str, **detail) -> None:
+        if self.event_log is not None:
+            self.event_log.record(self.sim.now, kind, self.middlebox.name, **detail)
 
     def _relay_pair(self, server_sock: TcpSocket):
         from repro.sim import Store
@@ -191,7 +217,15 @@ class ActiveRelay:
         server_sock.chunk_listener = lambda segment: up_queue.put(("chunk", segment))
         self.sim.process(self._sentinel_watcher(server_sock, up_queue))
         client_sock = self._new_client_socket(server_sock)
-        yield client_sock.connect(self.egress_ip, self.egress_port)
+        try:
+            yield client_sock.connect(self.egress_ip, self.egress_port)
+        except ConnectionReset:
+            # next hop unreachable: refuse the flow so the VM side can
+            # run its own recovery instead of waiting forever
+            self._log("relay.connect-failed")
+            if server_sock.state == "established":
+                server_sock.reset()
+            return
         pair = RelayPair(server_sock, client_sock)
         self.pairs.append(pair)
         self.sim.process(self._pump(up_queue, server_sock, pair, "upstream"))
@@ -241,7 +275,13 @@ class ActiveRelay:
                 other = self._dst_socket(pair, direction)
                 if direction == "upstream":
                     pair.closed = True  # the VM ended the flow
+                    if not pair.abandoned:
+                        self._drop_flow_entries(
+                            (pair.server.remote_ip, pair.server.remote_port)
+                        )
                 if payload is RESET and other.state == "established":
+                    if direction == "downstream":
+                        pair.abandoned = True
                     other.reset()
                 if payload is EOF:
                     other.close()
@@ -264,10 +304,32 @@ class ActiveRelay:
                 continue
             yield from self._relay_chunk(segment, pair, direction, service, streams)
 
+    def _track_command(self, entry: NvmEntry) -> None:
+        """Journaled upstream commands are retired by their downstream
+        response, not by the next hop's TCP ACK."""
+        if entry.direction == "upstream" and isinstance(entry.pdu, ScsiCommandPdu):
+            self._command_entries[entry.pdu.task_tag] = entry.entry_id
+
+    def _retire_command(self, response: ScsiResponsePdu) -> None:
+        entry_id = self._command_entries.pop(response.task_tag, None)
+        if entry_id is not None:
+            self.nvm.pop(entry_id, None)
+
+    def _drop_flow_entries(self, flow) -> None:
+        """The VM side ended the flow: nobody is waiting for these."""
+        for entry in [e for e in self.nvm.values() if e.flow == flow]:
+            self.nvm.pop(entry.entry_id, None)
+            if isinstance(entry.pdu, ScsiCommandPdu):
+                self._command_entries.pop(entry.pdu.task_tag, None)
+
     def _relay_whole(self, pdu, pair: RelayPair, direction, service):
-        if direction == "upstream" and isinstance(pdu, LoginRequestPdu):
+        is_login = direction == "upstream" and isinstance(pdu, LoginRequestPdu)
+        if is_login:
             pair.login_pdu = pdu  # needed again if the downstream leg fails
-        entry = NvmEntry(next(self._entry_ids), pdu, direction, self.sim.now)
+        if direction == "downstream" and isinstance(pdu, ScsiResponsePdu):
+            self._retire_command(pdu)
+        flow = (pair.server.remote_ip, pair.server.remote_port)
+        entry = NvmEntry(next(self._entry_ids), pdu, direction, self.sim.now, flow)
         self.nvm[entry.entry_id] = entry
         self.nvm_peak = max(self.nvm_peak, len(self.nvm))
         self.pdus_relayed += 1
@@ -278,12 +340,19 @@ class ActiveRelay:
             ctx.forward(pdu)
         if not ctx.consumed:
             self.nvm.pop(entry.entry_id, None)
+        else:
+            self._track_command(entry)
+        if is_login and len(self.nvm) > 1:
+            # a login on a flow with older journal entries means the
+            # middle-box restarted: replay what the crash interrupted
+            self._replay_stale(pair, entry.entry_id, flow)
 
     def _relay_chunk(self, segment, pair: RelayPair, direction, service, streams):
         buffered = service is not None and service.requires_full_pdu
         state = streams.get(segment.message_id)
         if state is None:
-            entry = NvmEntry(next(self._entry_ids), None, direction, self.sim.now)
+            flow = (pair.server.remote_ip, pair.server.remote_port)
+            entry = NvmEntry(next(self._entry_ids), None, direction, self.sim.now, flow)
             self.nvm[entry.entry_id] = entry
             self.nvm_peak = max(self.nvm_peak, len(self.nvm))
             if buffered:
@@ -293,11 +362,17 @@ class ActiveRelay:
                 state = (None, entry, None)
             else:
                 dst = self._dst_socket(pair, direction)
-                handle = dst.send_stream(segment.message_size)
-                self.sim.process(
-                    self._discard_when_delivered(dst, handle.message_id, entry.entry_id)
-                )
-                state = (handle, entry, dst)
+                try:
+                    handle = dst.send_stream(segment.message_size)
+                except ConnectionReset:
+                    # the outgoing socket already died: journal-only
+                    # mode — the completed PDU stays in NVM for replay
+                    state = (None, entry, dst)
+                else:
+                    self.sim.process(
+                        self._discard_when_delivered(dst, handle.message_id, entry.entry_id)
+                    )
+                    state = (handle, entry, dst)
             streams[segment.message_id] = state
         handle, entry, opened_on = state
         if not segment.is_last:
@@ -308,18 +383,30 @@ class ActiveRelay:
         pdu = segment.message
         entry.pdu = pdu
         self.pdus_relayed += 1
+        if handle is None and opened_on is not None:
+            # journal-only mode: the socket was already dead when the
+            # stream opened — keep the transformed PDU journaled; the
+            # send fails quietly and recovery replays it
+            transformed = self._transform_only(pdu, direction, service)
+            entry.pdu = transformed
+            self._track_command(entry)
+            self._send_tracked_safe(self._dst_socket(pair, direction), transformed, entry)
+            return
         if handle is None:
             # buffered mode: full classic processing (forward or reply)
             ctx = self._make_context(entry, pair, direction)
             yield from service.process(pdu, direction, ctx, charged=True)
             if not ctx.consumed:
                 self.nvm.pop(entry.entry_id, None)
+            else:
+                self._track_command(entry)
             return
         if opened_on.state == "reset":
             # the outgoing socket died mid-stream; journal the completed
             # PDU — recovery replays it on the fresh connection
             transformed = self._transform_only(pdu, direction, service)
             entry.pdu = transformed
+            self._track_command(entry)
             self._send_tracked_safe(self._dst_socket(pair, direction), transformed, entry)
             return
         if service is not None:
@@ -334,6 +421,10 @@ class ActiveRelay:
                 handle.finish(pdu)
         else:
             handle.finish(pdu)
+        # journal what actually went on the wire, so a replay after a
+        # crash re-sends the transformed PDU
+        entry.pdu = handle.message
+        self._track_command(entry)
 
     @staticmethod
     def _transform_only(pdu, direction, service):
@@ -383,7 +474,38 @@ class ActiveRelay:
 
     def _discard_when_delivered(self, socket: TcpSocket, message_id: int, entry_id: int):
         yield socket.when_delivered(message_id)
+        entry = self.nvm.get(entry_id)
+        if entry is None:
+            return
+        if entry.direction == "upstream" and isinstance(entry.pdu, ScsiCommandPdu):
+            return  # retired by the downstream response, not the TCP ACK
         self.nvm.pop(entry_id, None)
+
+    def _replay_stale(self, pair: RelayPair, login_entry_id: int, flow) -> None:
+        """Middle-box crash recovery: the journal is NVM, so entries
+        written before a crash survive the restart.  When the VM-side
+        session logs back in on the same 4-tuple, replay that flow's
+        un-ACKed upstream PDUs on the fresh pair (in arrival order,
+        right behind the just-forwarded login) and drop its stale
+        downstream/login entries — the re-executed commands regenerate
+        the responses, and duplicates are absorbed by idempotent
+        writes plus the initiator's task-tag table."""
+        replayed = 0
+        for entry in list(self.nvm.values()):
+            if entry.entry_id >= login_entry_id or entry.flow != flow:
+                continue
+            if (
+                entry.direction != "upstream"
+                or entry.pdu is None
+                or isinstance(entry.pdu, LoginRequestPdu)
+            ):
+                self.nvm.pop(entry.entry_id, None)
+                continue
+            self.pdus_replayed += 1
+            replayed += 1
+            self._send_tracked_safe(pair.client, entry.pdu, entry)
+        if replayed:
+            self._log("relay.replay-stale", replayed=replayed)
 
     # -- downstream failure recovery --------------------------------------
 
@@ -396,11 +518,15 @@ class ActiveRelay:
         while pair.reconnects < self.max_reconnects:
             pair.reconnects += 1
             yield self.sim.timeout(self.reconnect_delay)
+            self._log("relay.reconnect-attempt", attempt=pair.reconnects)
             client = self._new_client_socket(pair.server)
-            established = client.connect(self.egress_ip, self.egress_port)
-            result = yield self.sim.any_of(
-                [established, self.sim.timeout(1.0, "timeout")]
-            )
+            try:
+                established = client.connect(self.egress_ip, self.egress_port)
+                result = yield self.sim.any_of(
+                    [established, self.sim.timeout(1.0, "timeout")]
+                )
+            except ConnectionReset:
+                continue
             if established not in result or client.state != "established":
                 client.reset()
                 continue
@@ -410,17 +536,25 @@ class ActiveRelay:
             # upstream PDUs in arrival order (the duplicate login
             # response is ignored by the initiator)
             if pair.login_pdu is not None:
-                client.send(pair.login_pdu, pair.login_pdu.wire_size)
+                try:
+                    client.send(pair.login_pdu, pair.login_pdu.wire_size)
+                except ConnectionReset:
+                    continue
             # the journal dict is keyed by a monotone entry_id and only
             # ever appended to / popped from, so insertion order IS
             # arrival order — no need to sort on every reconnect
+            replayed = 0
             for entry in list(self.nvm.values()):
                 if entry.direction == "upstream" and entry.pdu is not None:
                     self.pdus_replayed += 1
+                    replayed += 1
                     self._send_tracked_safe(client, entry.pdu, entry)
+            self._log("relay.recovered", replayed=replayed)
             return
         # recovery exhausted: tear the flow down toward the VM
+        self._log("relay.gave-up", reconnects=pair.reconnects)
         if pair.server.state == "established":
+            pair.abandoned = True
             pair.server.reset()
 
     def shutdown(self) -> None:

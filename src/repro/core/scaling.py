@@ -27,7 +27,7 @@ from repro.core.policy import PolicyError, ServiceSpec
 @dataclass
 class ScalingEvent:
     when: float
-    action: str  # "grow" | "shrink" | "rebalance"
+    action: str  # "grow" | "shrink" | "rebalance" | "evict" | "replace"
     pool_size: int
     load_per_box: float
 
@@ -66,6 +66,9 @@ class MiddleboxAutoscaler:
         self._clone_counter = 0
         self._last_packet_count = 0
         self.stopped = False
+        self.replacements = 0
+        #: optional :class:`repro.analysis.EventLog` for healing timelines
+        self.event_log = None
 
     # -- pool management ---------------------------------------------------
 
@@ -114,6 +117,10 @@ class MiddleboxAutoscaler:
         deadline = None if duration is None else sim.now + duration
         while not self.stopped and (deadline is None or sim.now < deadline):
             yield sim.timeout(self.check_interval)
+            crashed = [mb for mb in self.pool if getattr(mb, "crashed", False)]
+            if crashed:
+                self._heal(crashed)
+                continue
             total = self._pool_packets()
             rate = (total - self._last_packet_count) / self.check_interval
             self._last_packet_count = total
@@ -125,12 +132,40 @@ class MiddleboxAutoscaler:
                 )
                 self._rebalance()
             elif per_box < self.low_watermark and len(self.pool) > self.min_size:
-                self.pool.pop()
+                retired = self.pool.pop()
                 self.events.append(
                     ScalingEvent(sim.now, "shrink", len(self.pool), per_box)
                 )
-                self._rebalance()
+                self._rebalance()  # steer flows off the box, then reclaim it
+                self.storm.deprovision_middlebox(retired)
         return self.events
+
+    def _heal(self, crashed: list[MiddleBox]) -> None:
+        """Evict crashed boxes, provision replacements up to the pool
+        target, re-steer flows, then reclaim the dead VMs' resources."""
+        sim = self.storm.sim
+        for mb in crashed:
+            self.pool.remove(mb)
+            self.events.append(
+                ScalingEvent(sim.now, "evict", len(self.pool), 0.0)
+            )
+            if self.event_log is not None:
+                self.event_log.record(sim.now, "pool.evict", mb.name)
+        want = min(self.max_size, max(self.min_size, len(self.pool) + len(crashed)))
+        while len(self.pool) < want:
+            clone = self._provision_clone()
+            self.pool.append(clone)
+            self.replacements += 1
+            self.events.append(
+                ScalingEvent(sim.now, "replace", len(self.pool), 0.0)
+            )
+            if self.event_log is not None:
+                self.event_log.record(sim.now, "pool.replace", clone.name)
+        self._rebalance()
+        for mb in crashed:
+            self.storm.deprovision_middlebox(mb)
+        # the dead boxes' packet counters left the pool with them
+        self._last_packet_count = self._pool_packets()
 
     def stop(self) -> None:
         self.stopped = True

@@ -120,12 +120,12 @@ class SemanticsEngine:
             blocks.append(written_block)
         for block in blocks:
             if block == written_block:
-                entries.extend(unpack_dirents(data))
+                entries.extend(unpack_dirents(data, best_effort=True))
             else:
                 cached = self._dir_block_cache.get(block)
                 if cached is not None:
                     entries.extend(cached)
-        self._dir_block_cache[written_block] = unpack_dirents(data)
+        self._dir_block_cache[written_block] = unpack_dirents(data, best_effort=True)
         return entries
 
     def _apply_inode_table_write(self, block_no: int, data: bytes) -> None:

@@ -1,0 +1,14 @@
+"""Deterministic fault injection for the simulated cloud.
+
+Every fault — packet drop/corrupt/delay, link flap/partition, VM or
+host crash/restart, disk I/O error — is drawn from a seeded RNG
+(:class:`repro.sim.rng.SeededRNG` child streams, one per fault site)
+or scheduled at an explicit simulated time, so a faulted run is a pure
+function of its seed: run-twice identical, bisectable, and comparable
+across code changes.  See DESIGN.md §8 for the fault model and the
+recovery invariants the test suite pins.
+"""
+
+from repro.faults.injector import FaultInjector, LinkFaults
+
+__all__ = ["FaultInjector", "LinkFaults"]

@@ -1,0 +1,274 @@
+"""The fault injector: seeded, schedulable, kernel-composable.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Components carry a ``None`` hook
+   (``Link.faults``, ``Disk.fault_hook``) checked once per operation;
+   nothing else changes on the fast path.
+2. **Determinism.**  Every per-packet / per-I/O decision comes from a
+   child RNG stream named after the fault site (link endpoints, disk
+   name), so decisions do not depend on injector call order, and the
+   same seed reproduces the same fault schedule bit-for-bit.
+3. **Crash semantics.**  A crashed node keeps its Python objects (the
+   disk contents, bound listeners, NAT/conntrack state model the
+   machine's persistent state across a service restart) but loses its
+   connections and its links: sockets are reset (RST on the wire for a
+   fail-fast crash, silently for a power-loss crash) and interfaces
+   are unplugged until :meth:`FaultInjector.restart`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.events import EventLog
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim import Simulator
+from repro.sim.rng import SeededRNG
+
+
+class LinkFaults:
+    """Per-link fault state consulted by ``Link._pump`` per packet.
+
+    :meth:`judge` returns a non-negative extra delay to deliver the
+    packet, or a negative value to drop it.  Corruption is modeled as
+    a checksum-failure drop (counted separately).
+    """
+
+    __slots__ = (
+        "rng",
+        "name",
+        "up",
+        "drop_prob",
+        "corrupt_prob",
+        "delay_prob",
+        "delay_range",
+        "match",
+        "drop_next_count",
+        "dropped",
+        "corrupted",
+        "delayed",
+        "passed",
+    )
+
+    def __init__(self, rng: SeededRNG, name: str):
+        self.rng = rng
+        self.name = name
+        self.up = True
+        self.drop_prob = 0.0
+        self.corrupt_prob = 0.0
+        self.delay_prob = 0.0
+        self.delay_range = (0.0005, 0.005)
+        #: optional packet predicate restricting probabilistic faults
+        #: to a flow (e.g. ``lambda p: p.src_port == 49160``)
+        self.match: Optional[Callable[[Packet], bool]] = None
+        self.drop_next_count = 0
+        self.dropped = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.passed = 0
+
+    def judge(self, packet: Packet) -> float:
+        if not self.up:
+            self.dropped += 1
+            return -1.0
+        if self.match is not None and not self.match(packet):
+            self.passed += 1
+            return 0.0
+        if self.drop_next_count > 0:
+            self.drop_next_count -= 1
+            self.dropped += 1
+            return -1.0
+        if self.drop_prob and self.rng.random() < self.drop_prob:
+            self.dropped += 1
+            return -1.0
+        if self.corrupt_prob and self.rng.random() < self.corrupt_prob:
+            self.corrupted += 1
+            return -1.0  # bad checksum: the receiver discards it
+        if self.delay_prob and self.rng.random() < self.delay_prob:
+            self.delayed += 1
+            return self.rng.uniform(*self.delay_range)
+        self.passed += 1
+        return 0.0
+
+
+class FaultInjector:
+    """Injects seeded/scheduled faults into a running simulation."""
+
+    def __init__(self, sim: Simulator, seed: int = 0, log: Optional[EventLog] = None):
+        self.sim = sim
+        self.rng = SeededRNG(seed, name="faults")
+        self.log = log if log is not None else EventLog()
+
+    def _record(self, kind: str, target: str, **detail) -> None:
+        self.log.record(self.sim.now, kind, target, **detail)
+
+    # -- scheduling -----------------------------------------------------
+
+    def at(self, when: float, action: Callable, *args) -> None:
+        """Run ``action(*args)`` at absolute simulated time ``when``."""
+        delay = when - self.sim.now
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.sim.now})")
+        self.sim.timeout(delay).callbacks.append(lambda _event: action(*args))
+
+    # -- packet faults ---------------------------------------------------
+
+    def _link_name(self, link: Link) -> str:
+        return f"{link.a.name}<->{link.b.name}"
+
+    def _faults_for(self, link: Link) -> LinkFaults:
+        if link.faults is None:
+            name = self._link_name(link)
+            link.faults = LinkFaults(self.rng.child(f"link:{name}"), name)
+        return link.faults
+
+    def lossy_link(
+        self,
+        link: Link,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        delay_prob: float = 0.0,
+        delay_range: tuple[float, float] = (0.0005, 0.005),
+        match: Optional[Callable[[Packet], bool]] = None,
+    ) -> LinkFaults:
+        """Make a link probabilistically drop/corrupt/delay packets."""
+        faults = self._faults_for(link)
+        faults.drop_prob = drop
+        faults.corrupt_prob = corrupt
+        faults.delay_prob = delay_prob
+        faults.delay_range = delay_range
+        faults.match = match
+        self._record(
+            "fault.lossy-link", faults.name, drop=drop, corrupt=corrupt, delay=delay_prob
+        )
+        return faults
+
+    def drop_next(self, link: Link, count: int = 1) -> None:
+        """Deterministically drop the next ``count`` matching packets."""
+        faults = self._faults_for(link)
+        faults.drop_next_count += count
+        self._record("fault.drop-next", faults.name, count=count)
+
+    def clear_link(self, link: Link) -> None:
+        """Remove all fault state from a link (restores the fast path)."""
+        if link.faults is not None:
+            self._record("fault.clear-link", link.faults.name)
+            link.faults = None
+
+    # -- link up/down -----------------------------------------------------
+
+    def link_down(self, link: Link) -> None:
+        faults = self._faults_for(link)
+        if faults.up:
+            faults.up = False
+            self._record("fault.link-down", faults.name)
+
+    def link_up(self, link: Link) -> None:
+        faults = self._faults_for(link)
+        if not faults.up:
+            faults.up = True
+            self._record("fault.link-up", faults.name)
+
+    def flap_link(self, link: Link, down_at: float, down_for: float) -> None:
+        """Schedule the link to go down at ``down_at`` for ``down_for``."""
+        self.at(down_at, self.link_down, link)
+        self.at(down_at + down_for, self.link_up, link)
+
+    def partition(self, *nodes) -> None:
+        """Down every link attached to the given nodes."""
+        for node in nodes:
+            for iface in node.interfaces:
+                if iface.link is not None:
+                    self.link_down(iface.link)
+
+    def heal_partition(self, *nodes) -> None:
+        for node in nodes:
+            for iface in node.interfaces:
+                if iface.link is not None:
+                    self.link_up(iface.link)
+
+    # -- node crash / restart ---------------------------------------------
+
+    def crash(self, node, restart_after: Optional[float] = None, silent: bool = False):
+        """Crash a node (VM, middle-box, compute or storage host).
+
+        Connections die: abortively with RST on the wire (fail-fast
+        crash, the hypervisor/peer stack notices immediately) or
+        *silently* (power loss — peers only find out via retransmission
+        exhaustion).  Interfaces are unplugged; persistent state (disk
+        contents, listener bindings, conntrack) survives for the
+        restart.
+        """
+        if node.crashed:
+            return
+        node.crashed = True
+        for socket in list(node.stack._sockets.values()):
+            if silent:
+                socket._enter_reset()
+            else:
+                socket.reset()
+        for iface in node.interfaces:
+            iface._saved_wiring = (iface.link, iface.owner)
+            iface.link = None
+            iface.owner = None
+        self._record(
+            "fault.crash", node.name, silent=silent, restart_after=restart_after
+        )
+        if restart_after is not None:
+            self.at(self.sim.now + restart_after, self.restart, node)
+
+    def restart(self, node) -> None:
+        """Re-plug a crashed node's interfaces and mark it healthy."""
+        if not node.crashed:
+            return
+        for iface in node.interfaces:
+            saved = getattr(iface, "_saved_wiring", None)
+            if saved is not None:
+                iface.link, iface.owner = saved
+                iface._saved_wiring = None
+        node.crashed = False
+        self._record("fault.restart", node.name)
+
+    # -- disk faults --------------------------------------------------------
+
+    def disk_errors(
+        self, disk, read_error_prob: float = 0.0, write_error_prob: float = 0.0
+    ) -> None:
+        """Make a disk's I/Os fail probabilistically with DiskIOError."""
+        rng = self.rng.child(f"disk:{disk.name}")
+
+        def hook(op: str, offset: int, length: int) -> bool:
+            prob = read_error_prob if op == "read" else write_error_prob
+            return prob > 0.0 and rng.random() < prob
+
+        disk.fault_hook = hook
+        self._record(
+            "fault.disk-errors",
+            disk.name,
+            read=read_error_prob,
+            write=write_error_prob,
+        )
+
+    def fail_next_disk_io(self, disk, op: Optional[str] = None, count: int = 1) -> None:
+        """Deterministically fail the next ``count`` I/Os (optionally
+        only of one op kind)."""
+        state = {"remaining": count}
+
+        def hook(io_op: str, offset: int, length: int) -> bool:
+            if op is not None and io_op != op:
+                return False
+            if state["remaining"] > 0:
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    disk.fault_hook = None
+                return True
+            return False
+
+        disk.fault_hook = hook
+        self._record("fault.disk-fail-next", disk.name, op=op or "any", count=count)
+
+    def clear_disk(self, disk) -> None:
+        disk.fault_hook = None
+        self._record("fault.clear-disk", disk.name)

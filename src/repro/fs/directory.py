@@ -32,8 +32,13 @@ def pack_dirents(entries: list[tuple[str, int]]) -> bytes:
     return raw.ljust(BLOCK_SIZE, b"\x00")
 
 
-def unpack_dirents(raw: bytes) -> list[tuple[str, int]]:
-    """Parse a directory block back into (name, inode) pairs."""
+def unpack_dirents(raw: bytes, best_effort: bool = False) -> list[tuple[str, int]]:
+    """Parse a directory block back into (name, inode) pairs.
+
+    With ``best_effort`` parsing stops at the first malformed entry
+    instead of raising — for observers (like the semantic monitor)
+    fed arbitrary tenant bytes that merely *look* like a directory
+    block, where garbage must never take down the datapath."""
     entries = []
     offset = 0
     while offset + _ENTRY_HEADER.size <= len(raw):
@@ -41,7 +46,17 @@ def unpack_dirents(raw: bytes) -> list[tuple[str, int]]:
         if ino == 0:
             break
         offset += _ENTRY_HEADER.size
-        name = raw[offset : offset + name_len].decode("utf-8")
+        encoded = raw[offset : offset + name_len]
+        if best_effort and (
+            name_len == 0 or name_len > MAX_NAME or len(encoded) < name_len
+        ):
+            break
+        try:
+            name = encoded.decode("utf-8")
+        except UnicodeDecodeError:
+            if best_effort:
+                break
+            raise
         entries.append((name, ino))
         offset += name_len
     return entries

@@ -5,6 +5,15 @@ a storage connection bears host addresses — the obfuscation StorM's
 connection attribution must undo.  ``login_hooks`` is the reproduction
 of the paper's modification to the iSCSI "Login Session" code: it
 exposes the (IQN, source port) pair of every new session.
+
+Session recovery (``recover=True``) mirrors Open-iSCSI's replacement
+timeout behaviour: when the TCP connection dies the session re-logs-in
+with bounded exponential backoff — **reusing the same source port**, so
+gateway conntrack entries and narrowed steering rules keep matching the
+reconnected flow — and re-issues every pending command in task-tag
+order.  Commands issued while the session is down are queued and ride
+the same replay.  Only when every attempt fails does the session fall
+back to failing all pending commands (`SessionDead`).
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ from repro.iscsi.pdu import (
     next_task_tag,
 )
 from repro.net.stack import NetworkStack
-from repro.net.tcp import EOF, RESET, TcpSocket
+from repro.net.tcp import ConnectionReset, EOF, RESET, TcpSocket
 from repro.sim import Event, Simulator
 
 
@@ -36,16 +45,38 @@ class LoginFailed(Exception):
 class IscsiSession:
     """One logged-in connection to one target IQN (one volume)."""
 
-    def __init__(self, sim: Simulator, socket: TcpSocket, target_iqn: str):
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: TcpSocket,
+        target_iqn: str,
+        initiator_iqn: str = "iqn.2016-01.org.repro:initiator",
+        recover: bool = False,
+        max_relogins: int = 5,
+        relogin_backoff: float = 0.05,
+        login_timeout: float = 1.0,
+        event_log=None,
+    ):
         self.sim = sim
         self.socket = socket
         self.target_iqn = target_iqn
+        self.initiator_iqn = initiator_iqn
         self.local_port = socket.local_port
+        self.target_ip = socket.remote_ip
+        self.target_port = socket.remote_port or ISCSI_PORT
+        self.recover = recover
+        self.max_relogins = max_relogins
+        self.relogin_backoff = relogin_backoff
+        self.login_timeout = login_timeout
+        self.event_log = event_log
         self.alive = True
+        self._closed = False
         self._pending: dict[int, dict] = {}
         sim.process(self._receiver(), name=f"iscsi-rx:{target_iqn}")
         self.reads_completed = 0
         self.writes_completed = 0
+        self.relogins = 0
+        self.commands_reissued = 0
 
     # -- I/O interface ------------------------------------------------
 
@@ -61,12 +92,25 @@ class IscsiSession:
         if not self.alive:
             raise SessionDead(f"session to {self.target_iqn} is down")
         done = self.sim.event()
-        self._pending[command.task_tag] = {"event": done, "data": None, "op": command.op}
-        self.socket.send(command, command.wire_size)
+        self._pending[command.task_tag] = {
+            "event": done,
+            "data": None,
+            "op": command.op,
+            "command": command,
+        }
+        try:
+            self.socket.send(command, command.wire_size)
+        except ConnectionReset:
+            if not self.recover:
+                del self._pending[command.task_tag]
+                raise SessionDead(f"session to {self.target_iqn} is down")
+            # recovery pending: the command stays queued and is sent by
+            # the re-login replay in task-tag order
         return done
 
     def close(self) -> None:
         self.alive = False
+        self._closed = True
         self.socket.close()
 
     def reset(self) -> None:
@@ -79,6 +123,10 @@ class IscsiSession:
         while True:
             got = yield self.socket.recv()
             if got is RESET or got is EOF:
+                if got is RESET and self.recover and not self._closed:
+                    ok = yield from self._relogin_attempts()
+                    if ok:
+                        continue
                 self._fail_all()
                 return
             pdu, _size = got
@@ -99,6 +147,100 @@ class IscsiSession:
                 else:
                     record["event"].fail(SessionDead(f"I/O error: {pdu.status}"))
 
+    # -- recovery --------------------------------------------------------
+
+    def relogin(self):
+        """Process: explicitly re-login a dead session.
+
+        Used by consumers that keep their own durable state (e.g. the
+        replication service's journal) and want the session back after
+        a `_fail_all` — the automatic path (``recover=True``) never
+        reaches `_fail_all` unless every attempt was exhausted.
+        Restarts the receive loop on success.
+        """
+        if self._closed:
+            return False
+        if self.alive and self.socket.state == "established":
+            return True
+        ok = yield from self._relogin_attempts()
+        if ok:
+            self.alive = True
+            self.sim.process(self._receiver(), name=f"iscsi-rx:{self.target_iqn}")
+        return ok
+
+    def _relogin_attempts(self):
+        """Bounded exponential-backoff reconnect + login + replay."""
+        old = self.socket
+        for attempt in range(1, self.max_relogins + 1):
+            yield self.sim.timeout(self.relogin_backoff * (2 ** (attempt - 1)))
+            if self._closed:
+                return False
+            # same local port: gateway conntrack and narrowed steering
+            # rules key on the 4-tuple, which must not change
+            socket = TcpSocket(
+                self.sim,
+                old.stack,
+                local_ip=old.local_ip,
+                local_port=self.local_port,
+                mss=old.mss,
+                window=old.window,
+                reliable=old.reliable,
+                rto=old.rto,
+                max_retransmits=old.max_retransmits,
+            )
+            try:
+                established = socket.connect(self.target_ip, self.target_port)
+                yield self.sim.any_of(
+                    [established, self.sim.timeout(self.login_timeout, "timeout")]
+                )
+            except ConnectionReset:
+                continue
+            if socket.state != "established":
+                socket.reset()
+                continue
+            login = LoginRequestPdu(self.initiator_iqn, self.target_iqn)
+            try:
+                socket.send(login, login.wire_size)
+            except ConnectionReset:
+                continue
+            got = yield socket.recv()
+            if got is RESET or got is EOF:
+                continue
+            response, _size = got
+            if not isinstance(response, LoginResponsePdu) or response.status != "success":
+                socket.reset()
+                continue
+            self.socket = socket
+            self.relogins += 1
+            if self.event_log is not None:
+                self.event_log.record(
+                    self.sim.now,
+                    "recover.relogin",
+                    self.target_iqn,
+                    attempt=attempt,
+                    port=self.local_port,
+                )
+            self._reissue_pending()
+            return True
+        if self.event_log is not None:
+            self.event_log.record(
+                self.sim.now, "recover.relogin-failed", self.target_iqn
+            )
+        return False
+
+    def _reissue_pending(self) -> None:
+        """Re-send every pending command, in task-tag (issue) order.
+
+        Writes are idempotent (same offset, same payload) and reads are
+        side-effect-free, so re-execution at the target is safe; any
+        partially received Data-In is discarded and re-read.
+        """
+        for record in self._pending.values():
+            record["data"] = None
+            command = record["command"]
+            self.commands_reissued += 1
+            self.socket.send(command, command.wire_size)
+
     def _fail_all(self) -> None:
         self.alive = False
         pending, self._pending = self._pending, {}
@@ -118,6 +260,13 @@ class IscsiInitiator:
         initiator_iqn: str = "iqn.2016-01.org.repro:initiator",
         mss: int = 4096,
         window: int = 65536,
+        reliable: bool = False,
+        rto: float = 0.05,
+        max_retransmits: int = 8,
+        recover: bool = False,
+        max_relogins: int = 5,
+        relogin_backoff: float = 0.05,
+        event_log=None,
     ):
         self.sim = sim
         self.stack = stack
@@ -125,12 +274,25 @@ class IscsiInitiator:
         self.initiator_iqn = initiator_iqn
         self.mss = mss
         self.window = window
+        self.reliable = reliable
+        self.rto = rto
+        self.max_retransmits = max_retransmits
+        self.recover = recover
+        self.max_relogins = max_relogins
+        self.relogin_backoff = relogin_backoff
+        self.event_log = event_log
         self.sessions: list[IscsiSession] = []
         #: Called with (target_iqn, local_port) on every successful login —
         #: the paper's modified Login Session code path.
         self.login_hooks: list[Callable[[str, int], None]] = []
 
-    def connect(self, target_ip: str, target_iqn: str, target_port: int = ISCSI_PORT):
+    def connect(
+        self,
+        target_ip: str,
+        target_iqn: str,
+        target_port: int = ISCSI_PORT,
+        recover: Optional[bool] = None,
+    ):
         """Process: TCP connect + iSCSI login; returns an IscsiSession."""
         socket = TcpSocket(
             self.sim,
@@ -139,6 +301,9 @@ class IscsiInitiator:
             local_port=self.stack.allocate_port(),
             mss=self.mss,
             window=self.window,
+            reliable=self.reliable,
+            rto=self.rto,
+            max_retransmits=self.max_retransmits,
         )
         yield socket.connect(target_ip, target_port)
         login = LoginRequestPdu(self.initiator_iqn, target_iqn)
@@ -149,7 +314,16 @@ class IscsiInitiator:
         response, _size = got
         if not isinstance(response, LoginResponsePdu) or response.status != "success":
             raise LoginFailed(f"login to {target_iqn} failed: {response!r}")
-        session = IscsiSession(self.sim, socket, target_iqn)
+        session = IscsiSession(
+            self.sim,
+            socket,
+            target_iqn,
+            initiator_iqn=self.initiator_iqn,
+            recover=self.recover if recover is None else recover,
+            max_relogins=self.max_relogins,
+            relogin_backoff=self.relogin_backoff,
+            event_log=self.event_log,
+        )
         self.sessions.append(session)
         for hook in self.login_hooks:
             hook(target_iqn, socket.local_port)

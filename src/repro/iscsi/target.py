@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.blockdev import Volume
+from repro.blockdev import DiskIOError, Volume
 from repro.iscsi.pdu import (
     DataInPdu,
     ISCSI_PORT,
@@ -42,6 +42,9 @@ class IscsiTarget:
         cpu=None,
         mss: int = 4096,
         window: int = 65536,
+        reliable: bool = False,
+        rto: float = 0.05,
+        max_retransmits: int = 8,
     ):
         self.sim = sim
         self.stack = stack
@@ -49,7 +52,18 @@ class IscsiTarget:
         self.port = port
         self.cpu = cpu  # object with .consume(seconds) generator, or None
         self.exports: dict[str, Volume] = {}
-        self.listener = TcpListener(sim, stack, ip, port, mss=mss, window=window)
+        self.listener = TcpListener(
+            sim,
+            stack,
+            ip,
+            port,
+            mss=mss,
+            window=window,
+            reliable=reliable,
+            rto=rto,
+            max_retransmits=max_retransmits,
+        )
+        self.io_errors = 0
         #: Called with (initiator_iqn, target_iqn, remote_ip, remote_port)
         #: on every login — target-side half of connection attribution.
         self.login_hooks: list[Callable[[str, str, str, int], None]] = []
@@ -101,11 +115,18 @@ class IscsiTarget:
         if self.cpu is not None:
             yield from self.cpu.consume(PER_IO_CPU + PER_BYTE_CPU * command.length)
         self.commands_served += 1
-        if command.op == "write":
-            yield from volume.write(command.offset, command.length, command.data)
-            self._respond(socket, ScsiResponsePdu(command.task_tag, "good"))
+        try:
+            if command.op == "write":
+                yield from volume.write(command.offset, command.length, command.data)
+                self._respond(socket, ScsiResponsePdu(command.task_tag, "good"))
+                return
+            data = yield from volume.read(command.offset, command.length)
+        except DiskIOError:
+            # a medium error becomes a SCSI check condition, not a dead
+            # target: the initiator fails that one command
+            self.io_errors += 1
+            self._respond(socket, ScsiResponsePdu(command.task_tag, "io-error"))
             return
-        data = yield from volume.read(command.offset, command.length)
         data_in = DataInPdu(command.task_tag, command.length, data, offset=command.offset)
         self._respond(socket, data_in)
         self._respond(socket, ScsiResponsePdu(command.task_tag, "good"))

@@ -75,6 +75,11 @@ class Link:
         self.bandwidth = bandwidth
         self.latency = latency
         self.per_packet_overhead = per_packet_overhead
+        #: installed by :class:`repro.faults.FaultInjector` — when
+        #: non-None, every packet is judged (drop / corrupt / delay /
+        #: link-down) before delivery.  ``None`` keeps the fast path
+        #: branch-free beyond one identity check.
+        self.faults = None
         a.link = self
         b.link = self
         self._queues = {a: Store(sim), b: Store(sim)}
@@ -96,6 +101,21 @@ class Link:
         timeout = self.sim.timeout
         while True:
             packet: Packet = yield queue.get()
+            faults = self.faults
+            if faults is not None:
+                extra = faults.judge(packet)
+                if extra < 0.0:
+                    # dropped — but the sender still pays the wire time
+                    # (the loss happens at the far end of the pipe)
+                    yield timeout(
+                        packet.size / self.bandwidth + self.per_packet_overhead
+                    )
+                    continue
+                yield timeout(packet.size / self.bandwidth + self.per_packet_overhead)
+                timeout(self.latency + extra).callbacks.append(
+                    lambda _event, packet=packet: deliver(packet)
+                )
+                continue
             serialize = packet.size / self.bandwidth + self.per_packet_overhead
             yield timeout(serialize)
             # Propagation happens in parallel with the next serialization:

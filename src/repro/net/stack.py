@@ -65,6 +65,9 @@ class Node:
         self.sim = sim
         self.name = name
         self.interfaces: list[Interface] = []
+        #: set by :class:`repro.faults.FaultInjector` while the node is
+        #: down; health checks (e.g. the autoscaler) read it.
+        self.crashed = False
         self.stack = NetworkStack(sim, self)
 
     def add_interface(self, iface: Interface, arp: Optional[ArpTable] = None) -> Interface:

@@ -171,6 +171,18 @@ class Switch:
         self._port_names[iface] = name
         return iface
 
+    def remove_port(self, name: str) -> Optional[Interface]:
+        """Detach a port (service-VM deprovisioning); returns its
+        interface, or None if no such port exists."""
+        iface = self.ports.pop(name, None)
+        if iface is None:
+            return None
+        self._port_names.pop(iface, None)
+        self._mac_table = {
+            mac: port for mac, port in self._mac_table.items() if port != name
+        }
+        return iface
+
     def port_of(self, iface: Interface) -> str:
         name = self._port_names.get(iface)
         if name is None:

@@ -10,6 +10,17 @@ Throughput of a connection is window/RTT-bound exactly like real TCP,
 which is the mechanism behind the paper's Figures 5–9: splitting one
 long connection into two short ones at the middle-box shortens each
 ACK loop and restores throughput.
+
+With ``reliable=True`` the socket additionally survives loss injected
+by :mod:`repro.faults`: go-back-N retransmission driven by a single
+lazy RTO timer with exponential backoff, 3-dup-ACK fast retransmit,
+sequence-checked receive (out-of-order segments are dropped and the
+cumulative ACK re-asserted), SYN retransmission, and black-hole
+detection (``max_retransmits`` consecutive timeouts reset the
+connection locally).  All of it is gated on the flag so the default
+lossless fast path executes exactly as before.  FIN is not
+retransmitted: teardown on a lossy link eventually falls back to RST
+semantics, which every consumer in this codebase already handles.
 """
 
 from __future__ import annotations
@@ -104,6 +115,9 @@ class TcpSocket:
         remote_port: Optional[int] = None,
         mss: int = DEFAULT_MSS,
         window: int = DEFAULT_WINDOW,
+        reliable: bool = False,
+        rto: float = 0.05,
+        max_retransmits: int = 8,
     ):
         self.sim = sim
         self.stack = stack
@@ -113,6 +127,9 @@ class TcpSocket:
         self.remote_port = remote_port
         self.mss = mss
         self.window = window
+        self.reliable = reliable
+        self.rto = rto
+        self.max_retransmits = max_retransmits
         self.state = "closed"
         self.established_event: Event = sim.event()
         self._tx_queue = Store(sim)
@@ -140,6 +157,21 @@ class TcpSocket:
         #: consumers like the active relay); sentinels still arrive
         #: via :meth:`recv`
         self.chunk_listener = None
+        # retransmission state (only touched when ``reliable``)
+        self._retx_queue: deque[TcpSegment] = deque()
+        self._rto_current = rto
+        self._rto_deadline = 0.0
+        self._rto_timer_running = False
+        self._timeouts_in_row = 0
+        self._dup_acks = 0
+        self.retransmits = 0
+        # graceful-close state: close() with queued/unACKed data defers
+        # the FIN to the sender so nothing is silently abandoned.
+        # ``_tx_outstanding`` counts messages handed to the sender but
+        # not yet fully emitted (the Store hands items straight to the
+        # blocked sender, so the queue itself can look empty).
+        self._closing = False
+        self._tx_outstanding = 0
 
     # -- identity ------------------------------------------------------
 
@@ -157,6 +189,8 @@ class TcpSocket:
         self.stack.bind_socket(self)
         self.state = "syn-sent"
         self._emit(TcpSegment(kind="syn"))
+        if self.reliable:
+            self._arm_rto()
         return self.established_event
 
     def _start_sender(self) -> None:
@@ -165,7 +199,15 @@ class TcpSocket:
             self.sim.process(self._sender(), name=f"tcp-sender:{self.local_ip}:{self.local_port}")
 
     def close(self) -> None:
-        if self.state in ("closed", "reset"):
+        if self.state in ("closed", "reset") or self._closing:
+            return
+        if self.state == "established" and (
+            self._tx_outstanding or self._acked_bytes < self._sent_bytes
+        ):
+            # data is still queued or in flight: the sender drains it,
+            # waits for the ACKs, and only then sequences the FIN
+            self._closing = True
+            self._tx_queue.put(("close",))
             return
         self._emit(TcpSegment(kind="fin"))
         self.state = "closed"
@@ -203,7 +245,10 @@ class TcpSocket:
         """Queue an application message of ``size`` bytes. Non-blocking."""
         if self.state == "reset":
             raise ConnectionReset("send on reset connection")
+        if self._closing:
+            raise ConnectionReset("send after close()")
         message_id = next(_message_ids)
+        self._tx_outstanding += 1
         self._tx_queue.put(("msg", message_id, message, size))
         return message_id
 
@@ -212,7 +257,10 @@ class TcpSocket:
         relaying); drive it via the returned :class:`StreamHandle`."""
         if self.state == "reset":
             raise ConnectionReset("send on reset connection")
+        if self._closing:
+            raise ConnectionReset("send after close()")
         handle = StreamHandle(self.sim, next(_message_ids), total_size)
+        self._tx_outstanding += 1
         self._tx_queue.put(("stream", handle))
         return handle
 
@@ -242,17 +290,35 @@ class TcpSocket:
             item = yield self._tx_queue.get()
             if self.state == "reset":
                 return
-            if item[0] == "msg":
+            tag = item[0]
+            if tag == "msg":
                 _tag, message_id, message, size = item
                 sent = yield from self._send_message(message_id, message, size)
+            elif tag == "close":
+                yield from self._finish_close()
+                return
             else:
                 handle: StreamHandle = item[1]
                 message_id = handle.message_id
                 sent = yield from self._send_streamed(handle)
+            self._tx_outstanding -= 1
             if not sent:
                 return  # connection reset mid-message
             self._message_thresholds.append((self._sent_bytes, message_id))
             self._threshold_by_id[message_id] = self._sent_bytes
+
+    def _finish_close(self):
+        # flush: every emitted byte must be ACKed before the FIN goes out
+        while self._acked_bytes < self._sent_bytes:
+            waiter = self.sim.event()
+            self._window_waiter = waiter
+            yield waiter
+            if self.state == "reset":
+                return
+        self._emit(TcpSegment(kind="fin"))
+        self.state = "closed"
+        self._deliver_sentinel(EOF)
+        self.stack.unbind_socket(self)
 
     def _send_message(self, message_id: int, message: Any, size: int):
         offset = 0
@@ -311,9 +377,54 @@ class TcpSocket:
         self._sent_bytes += chunk
         self.bytes_sent += chunk
         self._emit(segment)
+        if self.reliable:
+            self._retx_queue.append(segment)
+            self._arm_rto()
 
     def _in_flight(self) -> int:
         return self._sent_bytes - self._acked_bytes
+
+    # -- retransmission (reliable mode only) --------------------------------
+
+    def _arm_rto(self) -> None:
+        """Push the retransmission deadline out; start the (single,
+        lazy) timer if it is not already pending.  The timer is never
+        cancelled — on early firing it re-arms for the remainder."""
+        self._rto_deadline = self.sim.now + self._rto_current
+        if not self._rto_timer_running:
+            self._rto_timer_running = True
+            self.sim.timeout(self._rto_current).callbacks.append(self._on_rto)
+
+    def _on_rto(self, _event) -> None:
+        self._rto_timer_running = False
+        if self.state in ("reset", "closed"):
+            return
+        outstanding = bool(self._retx_queue) or self.state == "syn-sent"
+        if not outstanding:
+            self._timeouts_in_row = 0
+            return  # everything ACKed; the timer lapses
+        remaining = self._rto_deadline - self.sim.now
+        if remaining > 1e-12:
+            # an ACK pushed the deadline out since the timer was set
+            self._rto_timer_running = True
+            self.sim.timeout(remaining).callbacks.append(self._on_rto)
+            return
+        self._timeouts_in_row += 1
+        if self._timeouts_in_row > self.max_retransmits:
+            # black hole: the peer is unreachable — fail locally (no RST
+            # on the wire; it would not get through anyway)
+            self._enter_reset()
+            return
+        self._rto_current = min(self._rto_current * 2.0, 16.0 * self.rto)
+        if self.state == "syn-sent":
+            self.retransmits += 1
+            self._emit(TcpSegment(kind="syn"))
+        else:
+            # go-back-N: re-emit every unACKed segment in order
+            for segment in self._retx_queue:
+                self.retransmits += 1
+                self._emit(segment)
+        self._arm_rto()
 
     # -- segment handling -----------------------------------------------------
 
@@ -341,6 +452,15 @@ class TcpSocket:
         if segment.kind == "ack":
             if segment.ack > self._acked_bytes:
                 acked = self._acked_bytes = segment.ack
+                if self.reliable:
+                    retx = self._retx_queue
+                    while retx and retx[0].seq + retx[0].length <= acked:
+                        retx.popleft()
+                    self._dup_acks = 0
+                    self._timeouts_in_row = 0
+                    self._rto_current = self.rto
+                    if retx:
+                        self._rto_deadline = self.sim.now + self._rto_current
                 waiter, self._window_waiter = self._window_waiter, None
                 if waiter is not None and not waiter.triggered:
                     waiter.succeed()
@@ -351,8 +471,32 @@ class TcpSocket:
                     event = self._delivery_events.pop(message_id, None)
                     if event is not None and not event.triggered:
                         event.succeed()
+            elif self.reliable and self._retx_queue and segment.ack == self._acked_bytes:
+                self._dup_acks += 1
+                if self._dup_acks == 3:
+                    # fast retransmit (once per loss event: the counter
+                    # only re-fires after new data is ACKed)
+                    for retx_segment in self._retx_queue:
+                        self.retransmits += 1
+                        self._emit(retx_segment)
+                    self._rto_deadline = self.sim.now + self._rto_current
             return
-        if segment.kind == "data" and self.state == "established":
+        if segment.kind == "data":
+            if self.state != "established":
+                if self.state == "syn-received" and self.reliable:
+                    # the peer's handshake ACK was lost but it moved on
+                    # to data — treat arrival as an implicit ACK
+                    self.state = "established"
+                    self._start_sender()
+                    if self._on_established is not None:
+                        self._on_established(self)
+                else:
+                    return
+            if self.reliable and segment.seq != self._rx_bytes:
+                # loss/reordering hole (or a duplicate): drop and
+                # re-assert the cumulative ACK so the sender converges
+                self._emit(TcpSegment(kind="ack", ack=self._rx_bytes))
+                return
             self._rx_bytes += segment.length
             self.bytes_received += segment.length
             # ACK on arrival, independent of app consumption — in the
@@ -363,6 +507,19 @@ class TcpSocket:
                 return
             if segment.is_last:
                 self._rx_store.put((segment.message, segment.message_size))
+            return
+        if segment.kind == "syn":
+            if self.state == "syn-received":
+                self._emit(TcpSegment(kind="syn-ack"))  # ours was lost
+                return
+            if self.reliable and self.state == "established":
+                # the peer restarted and is reconnecting with the same
+                # 4-tuple: this incarnation is dead — tear it down and
+                # hand the SYN to the listener (challenge-ACK shortcut)
+                self._enter_reset()
+                listener = self.stack._listeners.get(self.local_port)
+                if listener is not None:
+                    listener.handle_segment(segment, packet)
             return
 
     _on_established = None  # set by TcpListener for server-side sockets
@@ -395,6 +552,9 @@ class TcpListener:
         port: int,
         mss: int = DEFAULT_MSS,
         window: int = DEFAULT_WINDOW,
+        reliable: bool = False,
+        rto: float = 0.05,
+        max_retransmits: int = 8,
     ):
         self.sim = sim
         self.stack = stack
@@ -402,6 +562,9 @@ class TcpListener:
         self.port = port
         self.mss = mss
         self.window = window
+        self.reliable = reliable
+        self.rto = rto
+        self.max_retransmits = max_retransmits
         self.accept_queue = Store(sim)
         stack.bind_listener(self)
 
@@ -421,6 +584,9 @@ class TcpListener:
             remote_port=packet.src_port,
             mss=self.mss,
             window=self.window,
+            reliable=self.reliable,
+            rto=self.rto,
+            max_retransmits=self.max_retransmits,
         )
         socket.state = "syn-received"
         socket._on_established = self.accept_queue.put
