@@ -43,6 +43,9 @@ class EventLog:
     def matching(self, prefix: str) -> list[EventRecord]:
         return [r for r in self.records if r.kind.startswith(prefix)]
 
+    def count(self, prefix: str = "") -> int:
+        return sum(1 for r in self.records if r.kind.startswith(prefix))
+
     def format(self) -> str:
         return "\n".join(r.format() for r in self.records)
 

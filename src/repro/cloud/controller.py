@@ -102,6 +102,14 @@ class CloudController:
             latency=self.params.link_latency,
         )
 
+    def iter_nat_tables(self):
+        """Yield ``(host_name, NatTable)`` for every compute host — the
+        places the attach protocol installs transient NAT rules, and
+        hence the tables the reconciler audits for leaks.  (Gateway
+        NAT tables belong to the platform's gateway pairs.)"""
+        for name, host in self.compute_hosts.items():
+            yield name, host.stack.nat
+
     # -- tenants & VMs ------------------------------------------------------
 
     def create_tenant(self, name: str) -> Tenant:

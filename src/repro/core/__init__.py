@@ -24,16 +24,33 @@ from repro.core.steering import SteeringChain, build_chain_rules
 from repro.core.semantics import AccessRecord, SemanticsEngine
 from repro.core.policy import ChainPolicy, PolicyError, ServiceSpec, TenantPolicy, parse_policy
 from repro.core.platform import StorM, StorMFlow
-from repro.core.scaling import MiddleboxAutoscaler, ScalingEvent
+from repro.core.saga import (
+    ControlPlaneNode,
+    ControllerCrashed,
+    IntentLog,
+    Saga,
+    SagaStep,
+)
+from repro.core.scaling import MiddleboxAutoscaler, ScalingEvent, resteer_flow
+from repro.core.reconcile import Drift, Reconciler
+from repro.core.watchdog import ChainWatchdog
 
 __all__ = [
     "AccessRecord",
     "ActiveRelay",
     "AttributionRecord",
     "ChainPolicy",
+    "ChainWatchdog",
     "ConnectionAttributor",
+    "ControlPlaneNode",
+    "ControllerCrashed",
+    "Drift",
     "GatewayPair",
+    "IntentLog",
     "MiddleboxAutoscaler",
+    "Reconciler",
+    "Saga",
+    "SagaStep",
     "ScalingEvent",
     "MiddleBox",
     "PassiveRelay",
@@ -49,4 +66,5 @@ __all__ = [
     "TenantPolicy",
     "build_chain_rules",
     "payload_bytes",
+    "resteer_flow",
 ]

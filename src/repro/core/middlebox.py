@@ -91,6 +91,11 @@ class StorageService:
         the point where StorM supplies the initial filesystem view to
         services that need one (paper §III-C)."""
 
+    def on_volume_detached(self, flow) -> None:
+        """Symmetric teardown notification: called exactly once when
+        the platform detaches a flow this service was chained on —
+        the hook for flushing caches or releasing per-flow state."""
+
 
 class NoopService(StorageService):
     """Forwards unchanged — used for the MB-FWD/API overhead baselines."""

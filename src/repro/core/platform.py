@@ -13,14 +13,27 @@ volume attach*:
 4. attribute the new connection (login hook → IQN → VM) and narrow the
    steering rules to the now-known source port;
 5. remove the transient NAT rules and release the mutex.
+
+Every multi-step control operation runs as a :class:`~repro.core.saga.Saga`
+of idempotent steps with compensating rollbacks.  With
+``transactional=True`` the platform also journals each saga in a
+write-ahead :class:`~repro.core.saga.IntentLog` on a crashable
+:class:`~repro.core.saga.ControlPlaneNode`, so a controller crash
+mid-operation (``FaultInjector.crash``) is recovered on restart by
+:meth:`StorM.recover` — replay past the pivot step, rollback before it
+— never leaving a half-spliced flow, a leaked wildcard rule, or an
+orphaned NAT entry.  The knob defaults off: injector-off runs are
+bit-identical to the non-transactional platform.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from types import GeneratorType
 from typing import Callable, Optional
 
+from repro.analysis.events import EventLog
 from repro.cloud.compute import ComputeHost
 from repro.cloud.controller import CloudController
 from repro.cloud.tenant import Tenant
@@ -29,6 +42,17 @@ from repro.core.attribution import AttributionRecord, ConnectionAttributor
 from repro.core.middlebox import MiddleBox, NoopService, StorageService
 from repro.core.policy import PolicyError, ServiceSpec, TenantPolicy
 from repro.core.relay import ActiveRelay, PassiveRelay, RelayMode
+from repro.core.saga import (
+    ABORTED,
+    COMMITTED,
+    IN_FLIGHT,
+    ControllerCrashed,
+    ControlPlaneNode,
+    IntentLog,
+    Saga,
+    SagaError,
+    SagaStep,
+)
 from repro.core.splicing import (
     GatewayPair,
     create_gateway_pair,
@@ -53,12 +77,19 @@ class StorMFlow:
     cookie: str
     session: object = None
     attribution: Optional[AttributionRecord] = None
+    detached: bool = False
 
 
 class StorM:
     """The provider-side platform."""
 
-    def __init__(self, sim: Simulator, cloud: CloudController):
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud: CloudController,
+        transactional: bool = False,
+        event_log: Optional[EventLog] = None,
+    ):
         self.sim = sim
         self.cloud = cloud
         self.attributor = ConnectionAttributor()
@@ -71,6 +102,20 @@ class StorM:
         self.service_factories: dict[str, Callable[[ServiceSpec, "StorM"], StorageService]] = {
             "noop": lambda spec, storm: NoopService(),
         }
+        #: recovery/repair timeline (shared with the fault injector in
+        #: chaos runs); None keeps the fast path allocation-free.
+        self.event_log = event_log
+        self.transactional = transactional
+        self.controller: Optional[ControlPlaneNode] = None
+        self.intent_log: Optional[IntentLog] = None
+        #: test/chaos hook: called as ``probe(saga, step, "before"|"after")``
+        #: around every step — the control-plane chaos matrix uses it to
+        #: crash the controller at exact saga points.
+        self.saga_probe: Optional[Callable[[Saga, SagaStep, str], None]] = None
+        if transactional:
+            self.controller = ControlPlaneNode(sim)
+            self.controller.on_restart = self.recover
+            self.intent_log = IntentLog()
 
     # -- registration ------------------------------------------------------
 
@@ -105,6 +150,171 @@ class StorM:
         self.gateway_pairs[tenant.name] = pair
         return pair
 
+    # -- the saga executor -------------------------------------------------
+
+    def _record(self, kind: str, target: str, **detail) -> None:
+        if self.event_log is not None:
+            self.event_log.record(self.sim.now, kind, target, **detail)
+
+    def _begin_saga(
+        self,
+        op: str,
+        cookie: str,
+        steps: list[SagaStep],
+        state: Optional[dict] = None,
+        **detail,
+    ) -> Saga:
+        if self.intent_log is not None:
+            saga = self.intent_log.begin(op, cookie, steps, detail)
+            self._record("saga.begin", cookie, op=op)
+        else:
+            # non-transactional: an ephemeral saga gives the same ordered
+            # execution and failure compensation, just without the journal
+            # (and hence without crash recovery).
+            saga = Saga(0, op, cookie, steps, detail)
+        if state is not None:
+            # the step closures were built over this dict; ``store``d
+            # results must land where they read.
+            saga.state = state
+        return saga
+
+    def _check_controller(self, saga: Saga, step_name: str = "") -> None:
+        if self.controller is not None and self.controller.crashed:
+            raise ControllerCrashed(saga.op, step_name)
+
+    def _probe(self, saga: Saga, step: SagaStep, when: str) -> None:
+        if self.saga_probe is not None:
+            self.saga_probe(saga, step, when)
+        self._check_controller(saga, step.name)
+
+    def _finish_step(self, saga: Saga, step: SagaStep, result) -> None:
+        saga.results[step.name] = result
+        if step.store is not None:
+            saga.state[step.store] = result
+        if saga.status == ABORTED:
+            # a concurrent recovery (controller restarted while this
+            # step's child process was still in flight) already rolled
+            # the saga back — compensate this straggler result too.
+            if step.undo is not None:
+                step.undo()
+            raise ControllerCrashed(saga.op, step.name)
+        saga.mark(f"done:{step.name}")
+        if step.pivot:
+            saga.pivoted = True
+            saga.mark("pivot")
+
+    def _execute_saga(self, saga: Saga):
+        """Process: run a saga that may contain yielding steps.
+
+        Holds the attach mutex across the ``locked`` step prefix.  On
+        an ordinary exception the started steps are compensated
+        immediately; on :class:`ControllerCrashed` the saga is left
+        in-flight in the intent log for :meth:`recover`.
+        """
+        grant = None
+        if any(step.locked for step in saga.steps):
+            grant = self._attach_mutex.request()
+            yield grant
+        try:
+            for step in saga.steps:
+                if grant is not None and not step.locked:
+                    self._attach_mutex.release(grant)
+                    grant = None
+                self._probe(saga, step, "before")
+                saga.mark(f"start:{step.name}")
+                result = step.do()
+                if isinstance(result, GeneratorType):
+                    result = yield self.sim.process(result)
+                self._finish_step(saga, step, result)
+                self._probe(saga, step, "after")
+            self._commit_saga(saga)
+            return saga.results.get(saga.steps[-1].name) if saga.steps else None
+        except ControllerCrashed:
+            raise
+        except BaseException:
+            self._rollback_saga(saga)
+            raise
+        finally:
+            if grant is not None:
+                self._attach_mutex.release(grant)
+
+    def _execute_saga_sync(self, saga: Saga):
+        """Synchronous executor for sagas whose steps never yield
+        (detach, reconfigure, provisioning)."""
+        try:
+            for step in saga.steps:
+                self._probe(saga, step, "before")
+                saga.mark(f"start:{step.name}")
+                result = step.do()
+                if isinstance(result, GeneratorType):
+                    raise SagaError(
+                        f"step {step.name!r} of {saga.op!r} yields; use the process executor"
+                    )
+                self._finish_step(saga, step, result)
+                self._probe(saga, step, "after")
+            self._commit_saga(saga)
+            return saga.results.get(saga.steps[-1].name) if saga.steps else None
+        except ControllerCrashed:
+            raise
+        except BaseException:
+            self._rollback_saga(saga)
+            raise
+
+    def _commit_saga(self, saga: Saga) -> None:
+        saga.status = COMMITTED
+        saga.mark("commit")
+        if self.intent_log is not None:
+            self._record("saga.commit", saga.cookie, op=saga.op)
+
+    def _rollback_saga(self, saga: Saga) -> None:
+        """Run compensations, newest started step first.  Undo closures
+        are idempotent and tolerate partially-applied steps."""
+        if saga.status != IN_FLIGHT:
+            return
+        for step in reversed(saga.steps):
+            if not saga.started(step.name) or step.undo is None:
+                continue
+            step.undo()
+            self._record("saga.undo", saga.cookie, op=saga.op, step=step.name)
+        saga.status = ABORTED
+        saga.mark("abort")
+        if self.intent_log is not None:
+            self._record("saga.rollback", saga.cookie, op=saga.op)
+
+    def _replay_saga(self, saga: Saga) -> None:
+        """Roll a pivoted saga forward: re-run every step not yet
+        journaled as done.  Post-pivot steps are synchronous and
+        idempotent by construction."""
+        for step in saga.steps:
+            if saga.done(step.name):
+                continue
+            saga.mark(f"start:{step.name}")
+            result = step.do()
+            if isinstance(result, GeneratorType):
+                raise SagaError(
+                    f"cannot replay yielding step {step.name!r} of {saga.op!r}"
+                )
+            self._finish_step(saga, step, result)
+        self._commit_saga(saga)
+
+    def recover(self) -> dict[str, int]:
+        """Crash recovery: resolve every in-flight saga in the intent
+        log — replay it forward if its pivot step was journaled,
+        compensate it otherwise.  Called by the fault injector's
+        restart of the controller node; safe to call repeatedly."""
+        summary = {"replayed": 0, "rolled_back": 0}
+        if self.intent_log is None:
+            return summary
+        for saga in self.intent_log.incomplete():
+            if saga.pivoted:
+                self._replay_saga(saga)
+                summary["replayed"] += 1
+                self._record("saga.replay", saga.cookie, op=saga.op)
+            else:
+                self._rollback_saga(saga)
+                summary["rolled_back"] += 1
+        return summary
+
     # -- middle-box provisioning -----------------------------------------------
 
     def _next_host(self) -> ComputeHost:
@@ -120,6 +330,27 @@ class StorM:
                 f"unknown service kind {spec.kind!r}; registered: "
                 f"{sorted(self.service_factories)}"
             )
+        state: dict = {}
+
+        def do_provision():
+            state["mb"] = self._provision_middlebox_impl(tenant, spec)
+            return state["mb"]
+
+        def undo_provision():
+            mb = state.get("mb")
+            if mb is not None:
+                self._deprovision_middlebox_impl(mb)
+
+        saga = self._begin_saga(
+            "provision_middlebox",
+            f"storm-mb:{tenant.name}:{spec.name}",
+            [SagaStep("provision", do=do_provision, undo=undo_provision, locked=False)],
+            tenant=tenant.name,
+            kind=spec.kind,
+        )
+        return self._execute_saga_sync(saga)
+
+    def _provision_middlebox_impl(self, tenant: Tenant, spec: ServiceSpec) -> MiddleBox:
         host = (
             self.cloud.compute_hosts[spec.placement]
             if spec.placement
@@ -155,6 +386,22 @@ class StorM:
                     f"middle-box {mb.name} is still in the chain of "
                     f"{flow.vm_name}:{flow.volume_name}; detach first"
                 )
+        saga = self._begin_saga(
+            "deprovision_middlebox",
+            f"storm-mb:{mb.tenant.name}:{mb.name}",
+            [
+                SagaStep(
+                    "deprovision",
+                    do=lambda: self._deprovision_middlebox_impl(mb),
+                    pivot=True,
+                    locked=False,
+                )
+            ],
+            mb=mb.name,
+        )
+        self._execute_saga_sync(saga)
+
+    def _deprovision_middlebox_impl(self, mb: MiddleBox) -> None:
         if self.middleboxes.pop(mb.name, None) is None:
             return  # already deprovisioned
         if mb.relay is not None and hasattr(mb.relay, "shutdown"):
@@ -188,6 +435,59 @@ class StorM:
 
     # -- the atomic attach -------------------------------------------------------
 
+    def _spliced_attach_steps(
+        self,
+        *,
+        host,
+        gateways: GatewayPair,
+        chain: SteeringChain,
+        cookie: str,
+        target_ip: str,
+        port: int,
+        connect: Callable[[], GeneratorType],
+        narrow: Callable[[dict], None],
+        register: Callable[[dict], StorMFlow],
+    ) -> tuple[list[SagaStep], dict]:
+        """The paper's atomic attach as a saga of idempotent steps.
+
+        Steps 1–5 hold the attach mutex (the wildcard window); the
+        ``narrow`` step is the pivot — once it is journaled, crash
+        recovery completes the attach instead of compensating it.
+        """
+        state: dict = {}
+
+        def do_close_session():
+            session = state.get("session")
+            if session is not None and session.alive:
+                session.close()
+
+        def do_narrow():
+            narrow(state)
+
+        def do_register():
+            return register(state)
+
+        steps = [
+            SagaStep(
+                "install-nat",
+                do=lambda: install_attach_nat(host, gateways, target_ip, cookie, port=port),
+                undo=lambda: remove_attach_nat(host, gateways, cookie),
+            ),
+            SagaStep(
+                "install-chain",
+                do=lambda: chain.install(src_port=None),
+                undo=chain.remove,
+            ),
+            SagaStep("connect", do=connect, undo=do_close_session, store="session"),
+            SagaStep("narrow", do=do_narrow, undo=chain.remove, pivot=True),
+            SagaStep(
+                "remove-nat",
+                do=lambda: remove_attach_nat(host, gateways, cookie),
+            ),
+            SagaStep("register-flow", do=do_register, locked=False),
+        ]
+        return steps, state
+
     def attach_with_services(
         self,
         tenant: Tenant,
@@ -210,38 +510,52 @@ class StorM:
         cookie = f"storm:{vm.name}:{volume_name}"
         chain = SteeringChain(self.cloud.sdn, gateways, list(middleboxes), cookie)
 
-        grant = self._attach_mutex.request()
-        yield grant
-        try:
-            install_attach_nat(vm.host, gateways, target_ip, cookie)
-            chain.install(src_port=None)  # wildcard — safe under the mutex
-            session = yield self.sim.process(
-                vm.host.attach_volume(vm, volume_name, volume.iqn, target_ip)
-            )
-            attribution = self.attributor.attribute(
+        def connect():
+            return vm.host.attach_volume(vm, volume_name, volume.iqn, target_ip)
+
+        def narrow(state):
+            session = state["session"]
+            state["attribution"] = self.attributor.attribute(
                 vm.host.storage_iface.ip, session.local_port
             )
             chain.narrow(session.local_port)
-        finally:
-            remove_attach_nat(vm.host, gateways, cookie)
-            self._attach_mutex.release(grant)
 
-        flow = StorMFlow(
-            tenant_name=tenant.name,
-            vm_name=vm.name,
-            volume_name=volume_name,
-            src_port=session.local_port,
-            middleboxes=list(middleboxes),
-            chain=chain,
+        def register(state):
+            session = state["session"]
+            flow = StorMFlow(
+                tenant_name=tenant.name,
+                vm_name=vm.name,
+                volume_name=volume_name,
+                src_port=session.local_port,
+                middleboxes=list(middleboxes),
+                chain=chain,
+                gateways=gateways,
+                cookie=cookie,
+                session=session,
+                attribution=state.get("attribution"),
+            )
+            self.flows.append(flow)
+            for mb in middleboxes:
+                if mb.service is not None:
+                    mb.service.on_volume_attached(volume, flow)
+            return flow
+
+        steps, state = self._spliced_attach_steps(
+            host=vm.host,
             gateways=gateways,
+            chain=chain,
             cookie=cookie,
-            session=session,
-            attribution=attribution,
+            target_ip=target_ip,
+            port=ISCSI_PORT,
+            connect=connect,
+            narrow=narrow,
+            register=register,
         )
-        self.flows.append(flow)
-        for mb in middleboxes:
-            if mb.service is not None:
-                mb.service.on_volume_attached(volume, flow)
+        saga = self._begin_saga(
+            "attach_with_services", cookie, steps, state=state,
+            vm=vm.name, volume=volume_name,
+        )
+        flow = yield from self._execute_saga(saga)
         return flow
 
     # -- object-storage flows (§II-A: "equally applicable") --------------------
@@ -284,31 +598,44 @@ class StorM:
             self.cloud.sdn, gateways, list(middleboxes), cookie, service_port=port
         )
 
-        grant = self._attach_mutex.request()
-        yield grant
-        try:
-            install_attach_nat(host, gateways, server_ip, cookie, port=port)
-            chain.install(src_port=None)
-            session = yield self.sim.process(
-                host.object_client.connect(server_ip, port)
-            )
-            chain.narrow(session.local_port)
-        finally:
-            remove_attach_nat(host, gateways, cookie)
-            self._attach_mutex.release(grant)
+        def connect():
+            return host.object_client.connect(server_ip, port)
 
-        flow = StorMFlow(
-            tenant_name=tenant.name,
-            vm_name=vm.name,
-            volume_name=f"objstore://{server_ip}:{port}",
-            src_port=session.local_port,
-            middleboxes=list(middleboxes),
-            chain=chain,
+        def narrow(state):
+            chain.narrow(state["session"].local_port)
+
+        def register(state):
+            session = state["session"]
+            flow = StorMFlow(
+                tenant_name=tenant.name,
+                vm_name=vm.name,
+                volume_name=f"objstore://{server_ip}:{port}",
+                src_port=session.local_port,
+                middleboxes=list(middleboxes),
+                chain=chain,
+                gateways=gateways,
+                cookie=cookie,
+                session=session,
+            )
+            self.flows.append(flow)
+            return flow
+
+        steps, state = self._spliced_attach_steps(
+            host=host,
             gateways=gateways,
+            chain=chain,
             cookie=cookie,
-            session=session,
+            target_ip=server_ip,
+            port=port,
+            connect=connect,
+            narrow=narrow,
+            register=register,
         )
-        self.flows.append(flow)
+        saga = self._begin_saga(
+            "attach_object_session", cookie, steps, state=state,
+            vm=vm.name, server=server_ip,
+        )
+        flow = yield from self._execute_saga(saga)
         return flow
 
     # -- policy-driven deployment ---------------------------------------------
@@ -355,20 +682,83 @@ class StorM:
     def reconfigure_chain(self, flow: StorMFlow, middleboxes: list[MiddleBox]) -> None:
         """Add/remove middle-boxes on an existing flow by reprogramming
         the SDN switches (paper §III-A).  Restricted to forwarding-mode
-        chains: active relays hold per-flow TCP state."""
+        chains: active relays hold per-flow TCP state.
+
+        The swap is make-before-break: the new rule generation is
+        staged (installed at a shadowing priority) before the old one
+        is retired, so no step boundary — and hence no controller-crash
+        point — leaves the flow without a complete rule set."""
         for mb in list(flow.middleboxes) + list(middleboxes):
             if mb.relay_mode is RelayMode.ACTIVE:
                 raise PolicyError(
                     "cannot reconfigure a chain containing active-relay "
                     "middle-boxes on a live flow"
                 )
-        flow.chain.reconfigure(list(middleboxes))
-        flow.middleboxes = list(middleboxes)
+        chain = flow.chain
+        old_middleboxes = list(flow.middleboxes)
+        state: dict = {}
+
+        def do_stage():
+            state["retired"] = chain.stage(middleboxes=list(middleboxes))
+            return state["retired"]
+
+        def undo_stage():
+            if "retired" in state:
+                chain.unstage(state["retired"], old_middleboxes)
+
+        def do_retire():
+            chain.retire(state["retired"])
+
+        def do_update():
+            flow.middleboxes = list(middleboxes)
+
+        saga = self._begin_saga(
+            "reconfigure_chain",
+            flow.cookie,
+            [
+                SagaStep("stage-rules", do=do_stage, undo=undo_stage, pivot=True,
+                         locked=False, store="retired"),
+                SagaStep("retire-old-rules", do=do_retire, locked=False),
+                SagaStep("update-flow", do=do_update, locked=False),
+            ],
+            state=state,
+            chain=[mb.name for mb in middleboxes],
+        )
+        self._execute_saga_sync(saga)
 
     def detach(self, flow: StorMFlow) -> None:
-        """Tear down a flow: close the session and remove its rules."""
-        if flow.session is not None and flow.session.alive:
-            flow.session.close()
-        flow.chain.remove()
-        if flow in self.flows:
-            self.flows.remove(flow)
+        """Tear down a flow: close the session, remove its rules, and
+        notify its services.  Idempotent — a double detach is a no-op —
+        and crash-safe: the first step is the pivot, so a controller
+        crash mid-detach always rolls forward to a complete teardown."""
+        if flow.detached:
+            return
+
+        def do_close():
+            if flow.session is not None and flow.session.alive:
+                flow.session.close()
+
+        def do_remove_rules():
+            flow.chain.remove()
+
+        def do_unregister():
+            if flow in self.flows:
+                self.flows.remove(flow)
+            if not flow.detached:
+                flow.detached = True
+                for mb in flow.middleboxes:
+                    if mb.service is not None:
+                        mb.service.on_volume_detached(flow)
+
+        saga = self._begin_saga(
+            "detach",
+            flow.cookie,
+            [
+                SagaStep("close-session", do=do_close, pivot=True, locked=False),
+                SagaStep("remove-rules", do=do_remove_rules, locked=False),
+                SagaStep("unregister-flow", do=do_unregister, locked=False),
+            ],
+            vm=flow.vm_name,
+            volume=flow.volume_name,
+        )
+        self._execute_saga_sync(saga)

@@ -1,0 +1,181 @@
+"""The transactional control plane: intent log, sagas, and the
+controller node.
+
+PR 2 made the *data plane* survive faults; this module does the same
+for the *control plane*.  Every multi-step control operation — the
+atomic volume attach (paper §III-A), object-session splicing, detach,
+chain reconfiguration, middle-box (de)provisioning — is recorded in a
+write-ahead **intent log** as a :class:`Saga`: an ordered list of
+idempotent :class:`SagaStep`\\ s, each with a compensating ``undo``.
+
+Crash semantics mirror the active relay's NVM journal: the log object
+lives on the :class:`ControlPlaneNode` and *survives* a crash (it
+models journaled controller state), while the in-flight orchestration
+process dies — :class:`ControllerCrashed` is raised at the next step
+boundary once :meth:`repro.faults.FaultInjector.crash` marks the node
+down.  On :meth:`~repro.faults.FaultInjector.restart` the node's
+``on_restart`` hook calls :meth:`repro.core.platform.StorM.recover`,
+which resolves every in-flight saga to exactly one of two audited
+states:
+
+- the **pivot** step (commit barrier) completed → *roll forward*:
+  re-run the remaining steps (all idempotent and synchronous by
+  construction);
+- otherwise → *roll back*: run the compensations of every started
+  step in reverse order.
+
+Either way no wildcard steering rule, transient NAT entry, or
+half-spliced flow outlives recovery — the invariant the
+:class:`repro.core.reconcile.Reconciler` audits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.stack import Node
+from repro.sim import Simulator
+
+#: Saga lifecycle states.
+IN_FLIGHT = "in-flight"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class SagaError(Exception):
+    """Misuse of the saga machinery (e.g. replaying a yielding step)."""
+
+
+class ControllerCrashed(Exception):
+    """The control-plane node died mid-operation; recovery will finish
+    or compensate the saga when the controller restarts."""
+
+    def __init__(self, op: str, step: str = ""):
+        super().__init__(f"controller crashed during {op!r} (step {step or '<pre>'})")
+        self.op = op
+        self.step = step
+
+
+@dataclass
+class SagaStep:
+    """One idempotent unit of a control operation.
+
+    ``do`` either returns a value (synchronous step) or a generator
+    (the executor runs it as a child process — only allowed *before*
+    the pivot, so crash recovery never needs to resume a yield).
+    ``undo`` compensates a started-but-unfinished or rolled-back step
+    and must tolerate the step having only partially applied.
+    """
+
+    name: str
+    do: Callable[[], Any]
+    undo: Optional[Callable[[], None]] = None
+    #: commit barrier: once this step's completion is journaled, crash
+    #: recovery rolls the saga *forward* instead of compensating.
+    pivot: bool = False
+    #: run while holding the platform attach mutex (the executor
+    #: releases the mutex before the first non-locked step).
+    locked: bool = True
+    #: stash the step result under this key in the saga's shared state.
+    store: Optional[str] = None
+
+
+class Saga:
+    """A journaled control operation: steps + append-only journal."""
+
+    def __init__(
+        self,
+        saga_id: int,
+        op: str,
+        cookie: str,
+        steps: list[SagaStep],
+        detail: Optional[dict] = None,
+    ):
+        self.saga_id = saga_id
+        self.op = op
+        self.cookie = cookie
+        self.steps = steps
+        self.detail = detail or {}
+        self.status = IN_FLIGHT
+        self.pivoted = False
+        #: append-only journal: "begin", "start:<step>", "done:<step>",
+        #: "pivot", "commit", "abort"
+        self.journal: list[str] = ["begin"]
+        #: per-step results (survive the crash alongside the journal,
+        #: like the relay's NVM payloads)
+        self.results: dict[str, Any] = {}
+        #: shared mutable state the step closures read/write
+        self.state: dict[str, Any] = {}
+
+    def mark(self, entry: str) -> None:
+        self.journal.append(entry)
+
+    def started(self, step_name: str) -> bool:
+        return f"start:{step_name}" in self.journal
+
+    def done(self, step_name: str) -> bool:
+        return f"done:{step_name}" in self.journal
+
+    @property
+    def incomplete(self) -> bool:
+        return self.status == IN_FLIGHT
+
+    def __repr__(self) -> str:
+        return f"Saga#{self.saga_id}({self.op}, {self.cookie}, {self.status})"
+
+
+class IntentLog:
+    """Write-ahead journal of control operations (controller NVM).
+
+    Purely passive storage: the executor in
+    :class:`~repro.core.platform.StorM` appends sagas and journal
+    entries; recovery and the reconciler read them back.
+    """
+
+    def __init__(self):
+        self.sagas: list[Saga] = []
+        self._ids = itertools.count(1)
+
+    def begin(
+        self, op: str, cookie: str, steps: list[SagaStep], detail: Optional[dict] = None
+    ) -> Saga:
+        saga = Saga(next(self._ids), op, cookie, steps, detail)
+        self.sagas.append(saga)
+        return saga
+
+    def incomplete(self) -> list[Saga]:
+        """Sagas with neither a commit nor an abort record."""
+        return [s for s in self.sagas if s.incomplete]
+
+    def in_flight_cookies(self) -> set[str]:
+        """Cookies of live operations — the reconciler must not treat
+        their transient rules as drift.  Assumes :meth:`recover` has
+        already resolved any crash-orphaned sagas."""
+        return {s.cookie for s in self.sagas if s.incomplete}
+
+    def by_op(self, op: str) -> list[Saga]:
+        return [s for s in self.sagas if s.op == op]
+
+    def __len__(self) -> int:
+        return len(self.sagas)
+
+
+class ControlPlaneNode(Node):
+    """The StorM controller as a crashable node.
+
+    It has no NICs (the simulated control channel is direct method
+    calls), but being a :class:`~repro.net.stack.Node` means
+    :meth:`repro.faults.FaultInjector.crash` /
+    :meth:`~repro.faults.FaultInjector.restart` treat it exactly like
+    any other machine.  The saga executor checks :attr:`crashed` at
+    every step boundary; the injector invokes :attr:`on_restart`
+    (wired to ``StorM.recover``) when the node comes back.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "storm-controller"):
+        super().__init__(sim, name)
+        #: called by the fault injector after a restart re-plugs the
+        #: node; StorM points this at its crash-recovery routine.
+        self.on_restart: Optional[Callable[[], Any]] = None

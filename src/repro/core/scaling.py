@@ -32,6 +32,17 @@ class ScalingEvent:
     load_per_box: float
 
 
+def resteer_flow(storm: StorM, flow: StorMFlow, middleboxes: list[MiddleBox]) -> bool:
+    """Re-steer one flow onto a new forwarding chain via SDN only
+    (make-before-break).  No-op if the chain is already the target.
+    Shared by the autoscaler's rebalance and the health watchdog's
+    fail-open bypass — both are pure rule reprogramming."""
+    if flow.middleboxes == list(middleboxes):
+        return False
+    storm.reconfigure_chain(flow, list(middleboxes))
+    return True
+
+
 class MiddleboxAutoscaler:
     """Elastic pool of interchangeable forwarding middle-boxes."""
 
@@ -91,8 +102,7 @@ class MiddleboxAutoscaler:
         """Assign flows round-robin across the pool via SDN only."""
         for index, flow in enumerate(self.flows):
             target = self.pool[index % len(self.pool)]
-            if flow.middleboxes != [target]:
-                self.storm.reconfigure_chain(flow, [target])
+            resteer_flow(self.storm, flow, [target])
         self.events.append(
             ScalingEvent(self.storm.sim.now, "rebalance", len(self.pool), 0.0)
         )

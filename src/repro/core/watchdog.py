@@ -1,0 +1,150 @@
+"""Middle-box health watchdog (tenant-selectable failure policy).
+
+A middle-box VM that crashes mid-flow leaves the tenant with a hard
+choice the platform must make for them, per tenant policy:
+
+- **fail-open** — availability first: bypass the dead box by
+  re-steering the flow onto the surviving chain members
+  (make-before-break, via the same SDN-only path the autoscaler's
+  rebalance uses), and *reinstate* the original chain when the box
+  comes back.  Only valid for forwarding-mode chains: an active relay
+  holds per-flow TCP state that a bypass would corrupt.
+
+- **fail-closed** — the service is load-bearing (encryption,
+  access control): *quiesce* the flow with high-priority drop rules
+  until every chain member is healthy again, then lift the quiesce and
+  let TCP retransmission resume the connection.
+
+Chains containing active relays are always fail-closed regardless of
+policy.  Every transition is recorded (``watchdog.bypass`` /
+``watchdog.reinstate`` / ``watchdog.quiesce`` / ``watchdog.unquiesce``)
+so chaos runs can narrate the failover timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.middlebox import MiddleBox
+from repro.core.relay import RelayMode
+from repro.core.scaling import resteer_flow
+
+FAIL_OPEN = "fail-open"
+FAIL_CLOSED = "fail-closed"
+
+
+def _mb_healthy(mb: MiddleBox) -> bool:
+    if getattr(mb, "crashed", False):
+        return False
+    iface = getattr(mb, "instance_iface", None)
+    return iface is None or iface.link is not None
+
+
+class ChainWatchdog:
+    """Periodically probes every middle-box of the watched flows and
+    applies the tenant's failure policy on state changes."""
+
+    def __init__(
+        self,
+        storm,
+        flows=None,
+        check_interval: float = 0.25,
+        default_policy: str = FAIL_OPEN,
+        tenant_policies: Optional[dict[str, str]] = None,
+        event_log=None,
+    ):
+        if default_policy not in (FAIL_OPEN, FAIL_CLOSED):
+            raise ValueError(f"unknown watchdog policy {default_policy!r}")
+        self.storm = storm
+        #: None = watch every platform flow, live list otherwise
+        self.flows = flows
+        self.check_interval = check_interval
+        self.default_policy = default_policy
+        self.tenant_policies = dict(tenant_policies or {})
+        self.event_log = event_log if event_log is not None else storm.event_log
+        #: flow cookie -> the chain the tenant *wants* (first seen);
+        #: StorMFlow holds lists and is unhashable, so key by cookie.
+        self._desired: dict[str, list[MiddleBox]] = {}
+        #: flow cookies currently steered around dead members
+        self._bypassed: set[str] = set()
+        self.stopped = False
+
+    def _record(self, kind: str, flow, **detail) -> None:
+        if self.event_log is not None:
+            self.event_log.record(self.storm.sim.now, kind, flow.cookie, **detail)
+
+    def _policy(self, flow) -> str:
+        policy = self.tenant_policies.get(flow.tenant_name, self.default_policy)
+        if any(mb.relay_mode is RelayMode.ACTIVE for mb in self._desired[flow.cookie]):
+            return FAIL_CLOSED  # bypass would corrupt relay TCP state
+        return policy
+
+    def _watched_flows(self):
+        flows = self.storm.flows if self.flows is None else self.flows
+        return [f for f in flows if not f.detached]
+
+    # -- one probe round ----------------------------------------------------
+
+    def tick(self) -> None:
+        for flow in self._watched_flows():
+            desired = self._desired.setdefault(
+                flow.cookie, list(flow.middleboxes)
+            )
+            if not desired:
+                continue
+            dead = [mb for mb in desired if not _mb_healthy(mb)]
+            if self._policy(flow) == FAIL_CLOSED:
+                self._apply_fail_closed(flow, dead)
+            else:
+                self._apply_fail_open(flow, desired, dead)
+
+    def _apply_fail_closed(self, flow, dead) -> None:
+        if dead and not flow.chain.quiesced:
+            flow.chain.quiesce()
+            self._record("watchdog.quiesce", flow, dead=[mb.name for mb in dead])
+        elif not dead and flow.chain.quiesced:
+            flow.chain.unquiesce()
+            self._record("watchdog.unquiesce", flow)
+
+    def _apply_fail_open(self, flow, desired, dead) -> None:
+        if dead:
+            survivors = [mb for mb in desired if _mb_healthy(mb)]
+            if not survivors:
+                # nothing left to steer through — last-resort quiesce
+                # rather than steering traffic at a dark MAC
+                self._apply_fail_closed(flow, dead)
+                return
+            if flow.chain.quiesced:  # partial recovery from a total outage
+                flow.chain.unquiesce()
+                self._record("watchdog.unquiesce", flow)
+            if resteer_flow(self.storm, flow, survivors):
+                self._bypassed.add(flow.cookie)
+                self._record(
+                    "watchdog.bypass",
+                    flow,
+                    dead=[mb.name for mb in dead],
+                    chain=[mb.name for mb in survivors],
+                )
+        else:
+            if flow.chain.quiesced:  # recovery from a total outage
+                flow.chain.unquiesce()
+                self._record("watchdog.unquiesce", flow)
+            if flow.cookie in self._bypassed:
+                if resteer_flow(self.storm, flow, desired):
+                    self._record(
+                        "watchdog.reinstate", flow, chain=[mb.name for mb in desired]
+                    )
+                self._bypassed.discard(flow.cookie)
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None):
+        """Process: probe every ``check_interval`` until stopped."""
+        sim = self.storm.sim
+        deadline = None if duration is None else sim.now + duration
+        while not self.stopped and (deadline is None or sim.now < deadline):
+            yield sim.timeout(self.check_interval)
+            self.tick()
+
+    def stop(self) -> None:
+        self.stopped = True

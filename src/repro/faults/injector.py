@@ -230,6 +230,11 @@ class FaultInjector:
                 iface._saved_wiring = None
         node.crashed = False
         self._record("fault.restart", node.name)
+        # crash-recovery hook (e.g. the StorM controller replays its
+        # intent log); runs after the node is healthy again
+        hook = getattr(node, "on_restart", None)
+        if hook is not None:
+            hook()
 
     # -- disk faults --------------------------------------------------------
 

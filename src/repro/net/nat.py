@@ -122,6 +122,16 @@ class NatTable:
         self.rules = [r for r in self.rules if r.cookie != cookie]
         return before - len(self.rules)
 
+    def rules_for_cookie(self, cookie: str) -> list[NatRule]:
+        """Rules tagged exactly ``cookie`` (reconciler audits)."""
+        return [r for r in self.rules if r.cookie == cookie]
+
+    def cookies(self) -> set[str]:
+        """Every distinct cookie currently installed — attach-time NAT
+        rules are transient, so outside an in-flight attach saga this
+        set should contain no ``storm`` cookies at all."""
+        return {r.cookie for r in self.rules if r.cookie is not None}
+
     def translate(self, packet: Packet, hook: str = "any") -> bool:
         """Rewrite ``packet`` in place.  Returns True if translated.
 

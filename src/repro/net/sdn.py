@@ -6,13 +6,19 @@ per-host monitors in the paper; direct method calls here — the
 control-plane latency is irrelevant to the evaluated data path).
 Rules are tagged with cookies so a whole steering chain can be torn
 down atomically when a tenant removes a middle-box.
+
+Cookies form *families*: ``storm:vm1:vol1`` owns every derived cookie
+``storm:vm1:vol1#g2`` / ``…#quiesce`` that steering generations and
+quiesce rules append.  Family-scoped removal/lookup (the default) is
+what lets a crashed controller's recovery and the reconciler sweep a
+flow's entire rule state without enumerating generations.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
-from repro.net.switch import FlowRule, Switch
+from repro.net.switch import FlowRule, Switch, cookie_in_family
 
 
 class SdnController:
@@ -38,18 +44,40 @@ class SdnController:
         self.switch(switch_name).flow_table.install(rule)
         self.installed_rules.append((switch_name, rule))
 
-    def remove_by_cookie(self, cookie: str, switch_name: Optional[str] = None) -> int:
-        """Remove all rules tagged ``cookie`` (optionally on one switch)."""
+    def remove_by_cookie(
+        self, cookie: str, switch_name: Optional[str] = None, family: bool = True
+    ) -> int:
+        """Remove all rules tagged ``cookie`` (optionally on one switch).
+
+        ``family=True`` (default) also removes derived cookies
+        (``cookie#…``); ``family=False`` matches exactly — used to
+        retire a single steering generation.
+        """
         removed = 0
         targets = [self.switch(switch_name)] if switch_name else list(self._switches.values())
         for switch in targets:
-            removed += switch.flow_table.remove_by_cookie(cookie)
+            removed += switch.flow_table.remove_by_cookie(cookie, family=family)
         self.installed_rules = [
             (sw_name, rule)
             for sw_name, rule in self.installed_rules
-            if not (rule.cookie == cookie and (switch_name is None or sw_name == switch_name))
+            if not (
+                cookie_in_family(rule.cookie, cookie, family)
+                and (switch_name is None or sw_name == switch_name)
+            )
         ]
         return removed
 
-    def rules_for_cookie(self, cookie: str) -> list[tuple[str, FlowRule]]:
-        return [(sw, r) for sw, r in self.installed_rules if r.cookie == cookie]
+    def rules_for_cookie(self, cookie: str, family: bool = True) -> list[tuple[str, FlowRule]]:
+        return [
+            (sw, r)
+            for sw, r in self.installed_rules
+            if cookie_in_family(r.cookie, cookie, family)
+        ]
+
+    def iter_rules(self) -> Iterator[tuple[str, FlowRule]]:
+        """Every rule actually installed in the switch tables — the
+        ground truth the reconciler audits (``installed_rules`` is only
+        the controller's journal and can drift from it)."""
+        for name, switch in self._switches.items():
+            for rule in switch.flow_table.rules:
+                yield name, rule

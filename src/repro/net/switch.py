@@ -91,6 +91,16 @@ class FlowRule:
         return True
 
 
+def cookie_in_family(rule_cookie: Optional[str], cookie: str, family: bool = True) -> bool:
+    """True if ``rule_cookie`` is ``cookie`` or (with ``family``) a
+    derived cookie ``cookie#…`` (steering generations, quiesce rules)."""
+    if rule_cookie is None:
+        return False
+    if rule_cookie == cookie:
+        return True
+    return family and rule_cookie.startswith(cookie + "#")
+
+
 #: Cache-miss marker (a rule can legitimately resolve to ``None``).
 _MISS = object()
 
@@ -113,9 +123,9 @@ class FlowTable:
         self.rules.sort(key=lambda r: -r.priority)
         self._decision_cache.clear()
 
-    def remove_by_cookie(self, cookie: str) -> int:
+    def remove_by_cookie(self, cookie: str, family: bool = False) -> int:
         before = len(self.rules)
-        self.rules = [r for r in self.rules if r.cookie != cookie]
+        self.rules = [r for r in self.rules if not cookie_in_family(r.cookie, cookie, family)]
         self._decision_cache.clear()
         return before - len(self.rules)
 

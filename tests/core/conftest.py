@@ -34,7 +34,7 @@ class XorService(StorageService):
 class StormEnv:
     """A 4-compute/1-storage cloud with one tenant VM and volume."""
 
-    def __init__(self, volume_size=1024 * BLOCK_SIZE):
+    def __init__(self, volume_size=1024 * BLOCK_SIZE, transactional=False):
         self.sim = Simulator()
         self.cloud = CloudController(self.sim)
         for i in range(1, 5):
@@ -45,7 +45,7 @@ class StormEnv:
             self.tenant, "vm1", self.cloud.compute_hosts["compute1"]
         )
         self.volume = self.cloud.create_volume(self.tenant, "vol1", volume_size)
-        self.storm = StorM(self.sim, self.cloud)
+        self.storm = StorM(self.sim, self.cloud, transactional=transactional)
         self.storm.register_service("xor", lambda spec, storm: XorService())
 
     def run(self, gen):

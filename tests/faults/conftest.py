@@ -25,7 +25,7 @@ def recovery_params(**overrides) -> CloudParams:
 class FaultEnv:
     """A 4-compute/1-storage recoverable cloud with vm1/vol1 + injector."""
 
-    def __init__(self, seed=7, volume_size=1024 * BLOCK_SIZE, params=None):
+    def __init__(self, seed=7, volume_size=1024 * BLOCK_SIZE, params=None, transactional=False):
         self.sim = Simulator()
         self.params = params or recovery_params()
         self.cloud = CloudController(self.sim, self.params)
@@ -37,9 +37,12 @@ class FaultEnv:
             self.tenant, "vm1", self.cloud.compute_hosts["compute1"]
         )
         self.volume = self.cloud.create_volume(self.tenant, "vol1", volume_size)
-        self.storm = StorM(self.sim, self.cloud)
-        install_default_services(self.storm)
         self.log = EventLog()
+        self.storm = StorM(
+            self.sim, self.cloud, transactional=transactional,
+            event_log=self.log if transactional else None,
+        )
+        install_default_services(self.storm)
         self.injector = FaultInjector(self.sim, seed=seed, log=self.log)
 
     def run(self, gen):
