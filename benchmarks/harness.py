@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.blockdev.disk import BLOCK_SIZE
 from repro.cloud import CloudController
 from repro.core import StorM
 from repro.core.policy import ServiceSpec

@@ -14,7 +14,6 @@ from harness import LEGACY, build_testbed, run
 from repro.core.policy import ServiceSpec
 from repro.fs import ExtFilesystem, SessionDevice, VolumeDevice
 from repro.fs.layout import BLOCK_SIZE
-from repro.services import install_default_services
 
 VOLUME = 64 * 1024 * 1024
 

@@ -9,7 +9,7 @@ granularity; unwritten space reads back as zeros.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim import Resource, Simulator
 

@@ -8,7 +8,7 @@ of which VM each storage session belongs to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.cpu import CpuMeter

@@ -8,7 +8,7 @@ hardware (two quad-core Xeons, 32 GB RAM, two 1 GbE NICs per host,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

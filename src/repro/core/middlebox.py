@@ -10,7 +10,7 @@ full takeover of command handling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cloud.cpu import CpuMeter
 from repro.iscsi.pdu import DataInPdu, ScsiCommandPdu

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cloud.params import CloudParams
-from repro.core.middlebox import MiddleBox, payload_bytes
+from repro.core.middlebox import MiddleBox
 from repro.iscsi.pdu import ISCSI_PORT, LoginRequestPdu, ScsiCommandPdu, ScsiResponsePdu
 from repro.net.nat import NatRule
 from repro.net.packet import Packet

@@ -32,7 +32,7 @@ half-spliced flow outlives recovery — the invariant the
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.net.stack import Node
@@ -52,7 +52,7 @@ class ControllerCrashed(Exception):
     """The control-plane node died mid-operation; recovery will finish
     or compensate the saga when the controller restarts."""
 
-    def __init__(self, op: str, step: str = ""):
+    def __init__(self, op: str, step: str = "") -> None:
         super().__init__(f"controller crashed during {op!r} (step {step or '<pre>'})")
         self.op = op
         self.step = step
@@ -91,8 +91,8 @@ class Saga:
         op: str,
         cookie: str,
         steps: list[SagaStep],
-        detail: Optional[dict] = None,
-    ):
+        detail: Optional[dict[str, Any]] = None,
+    ) -> None:
         self.saga_id = saga_id
         self.op = op
         self.cookie = cookie
@@ -134,12 +134,16 @@ class IntentLog:
     entries; recovery and the reconciler read them back.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.sagas: list[Saga] = []
         self._ids = itertools.count(1)
 
     def begin(
-        self, op: str, cookie: str, steps: list[SagaStep], detail: Optional[dict] = None
+        self,
+        op: str,
+        cookie: str,
+        steps: list[SagaStep],
+        detail: Optional[dict[str, Any]] = None,
     ) -> Saga:
         saga = Saga(next(self._ids), op, cookie, steps, detail)
         self.sagas.append(saga)
@@ -174,7 +178,7 @@ class ControlPlaneNode(Node):
     (wired to ``StorM.recover``) when the node comes back.
     """
 
-    def __init__(self, sim: Simulator, name: str = "storm-controller"):
+    def __init__(self, sim: Simulator, name: str = "storm-controller") -> None:
         super().__init__(sim, name)
         #: called by the fault injector after a restart re-plugs the
         #: node; StorM points this at its crash-recovery routine.

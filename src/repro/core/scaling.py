@@ -16,7 +16,7 @@ is restricted to forwarding-mode chains).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.middlebox import MiddleBox

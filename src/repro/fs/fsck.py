@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 
 from repro.fs.directory import unpack_dirents
 from repro.fs.inode import (
-    DIRECT_POINTERS,
     Inode,
     MODE_DIR,
     MODE_FREE,

@@ -20,8 +20,6 @@ from repro.fs.inode import (
     DIRECT_POINTERS,
     Inode,
     MODE_DIR,
-    MODE_FILE,
-    MODE_SYMLINK,
     unpack_indirect_block,
 )
 from repro.fs.layout import BLOCK_SIZE, ROOT_INODE, SuperBlock

@@ -1,0 +1,92 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline is a committed JSON file mapping finding *fingerprints* to
+enough context to review them (`path`, `rule`, the offending line).
+``python -m repro.lint --write-baseline`` (re)generates it; a normal
+run then reports only findings whose fingerprint is absent — so legacy
+debt is tracked without blocking CI, while every *new* hazard fails.
+
+Fingerprints hash the offending line's text rather than its number,
+so unrelated edits above a grandfathered line don't resurrect it; the
+occurrence index disambiguates identical lines within one file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file exists but cannot be parsed."""
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: fingerprint -> recorded entry."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: dict[str, dict[str, object]] = {}
+        for f in findings:
+            entries[f.fingerprint] = {
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "snippet": f.snippet,
+            }
+        return cls(entries)
+
+    def stale(self, findings: Iterable[Finding]) -> list[str]:
+        """Fingerprints recorded here but no longer found (fixed debt)."""
+        live = {f.fingerprint for f in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+
+def load(path: str) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise BaselineError(f"baseline {path} has no 'findings' key")
+    entries: dict[str, dict[str, object]] = {}
+    for fingerprint, entry in raw["findings"].items():
+        entries[str(fingerprint)] = dict(entry) if isinstance(entry, dict) else {}
+    return Baseline(entries)
+
+
+def save(baseline: Baseline, path: str) -> None:
+    """Write ``baseline`` with sorted keys for stable diffs."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered stormlint findings. Entries are keyed by a "
+            "fingerprint of (rule, path, line text); regenerate with "
+            "`python -m repro.lint src tests --write-baseline`."
+        ),
+        "findings": {
+            fp: baseline.entries[fp] for fp in sorted(baseline.entries)
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,169 @@
+"""Command-line front end.
+
+Usage::
+
+    python -m repro.lint src/ tests/ --baseline .stormlint-baseline.json
+
+Exit codes: 0 — clean (modulo baseline/suppressions); 1 — new findings
+or unparsable files; 2 — usage or baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.findings import all_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="stormlint: determinism & simulation-safety static analysis",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="(re)write --baseline (default .stormlint-baseline.json) "
+        "from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and its failure scenario",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root paths are resolved against (default: cwd)",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule_id, cls in sorted(all_rules().items()):
+        doc = (cls.__doc__ or "").strip().splitlines()
+        print(f"{rule_id:22s} [{cls.family}] {cls.summary}")
+        for line in doc[1:]:
+            print(f"    {line.strip()}")
+        print()
+    return EXIT_CLEAN
+
+
+def _print_text(result: LintResult, show_suppressed: bool) -> None:
+    for finding in result.new:
+        print(f"{finding.location()}: {finding.rule_id}: {finding.message}")
+        if finding.snippet:
+            print(f"    {finding.snippet}")
+    if show_suppressed:
+        for finding in result.suppressed:
+            print(f"{finding.location()}: {finding.rule_id}: suppressed")
+        for finding in result.baselined:
+            print(f"{finding.location()}: {finding.rule_id}: baselined")
+    for path, message in result.errors:
+        print(f"{path}: error: {message}")
+    summary = (
+        f"stormlint: {result.files_checked} files, "
+        f"{len(result.new)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entries"
+    print(summary)
+
+
+def _print_json(result: LintResult) -> None:
+    payload = {
+        "files_checked": result.files_checked,
+        "new": [vars(f) for f in result.new],
+        "baselined": [vars(f) for f in result.baselined],
+        "suppressed": [vars(f) for f in result.suppressed],
+        "errors": [{"path": p, "message": m} for p, m in result.errors],
+        "stale_baseline": result.stale_baseline,
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return EXIT_USAGE
+
+    selected = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    baseline_path = args.baseline
+    if args.write_baseline and baseline_path is None:
+        baseline_path = ".stormlint-baseline.json"
+
+    try:
+        result = run_lint(
+            args.paths,
+            root=args.root,
+            selected_rules=selected,
+            # When rewriting, lint without the old baseline so every
+            # finding lands in the fresh file.
+            baseline_path=None if args.write_baseline else baseline_path,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    except baseline_mod.BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        assert baseline_path is not None
+        base = baseline_mod.Baseline.from_findings(result.new)
+        baseline_mod.save(base, baseline_path)
+        print(f"wrote {len(base)} finding(s) to {baseline_path}")
+        return EXIT_CLEAN
+
+    if args.format == "json":
+        _print_json(result)
+    else:
+        _print_text(result, args.show_suppressed)
+    return EXIT_CLEAN if result.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

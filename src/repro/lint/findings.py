@@ -1,0 +1,155 @@
+"""Findings, rule metadata, and the rule registry.
+
+A :class:`Rule` is a small object that inspects AST nodes (or, for
+repo-level rules, the working tree) and emits :class:`Finding`\\ s.
+Rules self-register via the :func:`rule` decorator so adding one is a
+single class definition — the engine, CLI, baseline machinery, and
+docs enumeration all discover it through :func:`all_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation at one location.
+
+    ``fingerprint`` identifies the finding across line-number churn: it
+    hashes the rule id, the file path, the *text* of the offending line,
+    and an occurrence index (for identical lines in one file) — so
+    reformatting elsewhere in the file does not invalidate a baseline.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def compute_fingerprint(rule_id: str, path: str, snippet: str, occurrence: int) -> str:
+    payload = f"{rule_id}\x00{path}\x00{snippet.strip()}\x00{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class FileContext:
+    """Per-file state shared by every rule during one AST walk."""
+
+    path: str            # repo-relative posix path
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    #: names of functions/methods defined in this module whose own body
+    #: contains a ``yield`` (i.e. kernel-process generators)
+    generator_defs: set[str] = field(default_factory=set)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for all stormlint rules.
+
+    Subclasses set the class attributes and implement either
+    :meth:`check` (AST rules, called for every node whose type is in
+    ``node_types``) or :meth:`check_repo` (repo-level rules, called once
+    per lint run).  The class docstring of each concrete rule documents
+    the failure scenario the rule prevents; ``python -m repro.lint
+    --list-rules`` prints them.
+    """
+
+    #: stable kebab-case identifier used in suppressions and baselines
+    id: str = ""
+    #: one-line summary shown in --list-rules
+    summary: str = ""
+    #: AST node classes this rule wants to see (empty = repo-level rule)
+    node_types: tuple[type, ...] = ()
+    #: 'determinism' | 'safety' | 'hygiene'
+    family: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on the file at repo-relative ``path``.
+
+        The default scopes every rule to the simulation source tree;
+        rules override this to widen (hygiene) or narrow (control-plane
+        only) their reach.  Fixture files under ``tests/lint/fixtures``
+        are always linted so rule tests can use real files.
+        """
+        return path.startswith("src/repro") or "tests/lint/fixtures" in path
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``node``.  AST rules override this."""
+        return iter(())
+
+    def check_repo(self, root: str) -> Iterator[Finding]:
+        """Yield repo-level findings.  Repo rules override this."""
+        return iter(())
+
+    # -- helpers shared by concrete rules -----------------------------
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.id,
+            path=ctx.path,
+            line=lineno,
+            col=col + 1,
+            message=message,
+            snippet=ctx.line_text(lineno).strip(),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: register a rule under its ``id``."""
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The full registry, keyed by rule id (import-order stable)."""
+    # Importing the rule modules populates the registry lazily so that
+    # `from repro.lint.findings import ...` alone has no side effects.
+    from repro.lint import rules_determinism, rules_hygiene, rules_safety  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def instantiate(
+    selected: Sequence[str] | None = None,
+    predicate: Callable[[type[Rule]], bool] | None = None,
+) -> list[Rule]:
+    """Build rule instances, optionally restricted to ``selected`` ids."""
+    registry = all_rules()
+    if selected:
+        unknown = [s for s in selected if s not in registry]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        classes: Iterable[type[Rule]] = (registry[s] for s in selected)
+    else:
+        classes = registry.values()
+    return [cls() for cls in classes if predicate is None or predicate(cls)]

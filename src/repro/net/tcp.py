@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.sim import Event, Simulator, Store
 from repro.net.packet import HEADER_BYTES, Packet
@@ -71,7 +71,7 @@ class StreamHandle:
     final segment.
     """
 
-    def __init__(self, sim, message_id: int, total_size: int):
+    def __init__(self, sim: Simulator, message_id: int, total_size: int) -> None:
         self.sim = sim
         self.message_id = message_id
         self.total_size = total_size
@@ -118,7 +118,7 @@ class TcpSocket:
         reliable: bool = False,
         rto: float = 0.05,
         max_retransmits: int = 8,
-    ):
+    ) -> None:
         self.sim = sim
         self.stack = stack
         self.local_ip = local_ip
@@ -156,7 +156,7 @@ class TcpSocket:
         #: handed to this callback one segment at a time (cut-through
         #: consumers like the active relay); sentinels still arrive
         #: via :meth:`recv`
-        self.chunk_listener = None
+        self.chunk_listener: Optional[Callable[[TcpSegment], None]] = None
         # retransmission state (only touched when ``reliable``)
         self._retx_queue: deque[TcpSegment] = deque()
         self._rto_current = rto
@@ -285,7 +285,7 @@ class TcpSocket:
 
     # -- sender process -----------------------------------------------------
 
-    def _sender(self):
+    def _sender(self) -> Generator[Event, Any, None]:
         while True:
             item = yield self._tx_queue.get()
             if self.state == "reset":
@@ -307,7 +307,7 @@ class TcpSocket:
             self._message_thresholds.append((self._sent_bytes, message_id))
             self._threshold_by_id[message_id] = self._sent_bytes
 
-    def _finish_close(self):
+    def _finish_close(self) -> Generator[Event, Any, None]:
         # flush: every emitted byte must be ACKed before the FIN goes out
         while self._acked_bytes < self._sent_bytes:
             waiter = self.sim.event()
@@ -320,7 +320,9 @@ class TcpSocket:
         self._deliver_sentinel(EOF)
         self.stack.unbind_socket(self)
 
-    def _send_message(self, message_id: int, message: Any, size: int):
+    def _send_message(
+        self, message_id: int, message: Any, size: int
+    ) -> Generator[Event, Any, bool]:
         offset = 0
         while offset < size:
             chunk = min(self.mss, size - offset)
@@ -332,7 +334,7 @@ class TcpSocket:
             offset += chunk
         return True
 
-    def _send_streamed(self, handle: StreamHandle):
+    def _send_streamed(self, handle: StreamHandle) -> Generator[Event, Any, bool]:
         sent = 0
         while sent < handle.total_size:
             while handle.credited <= sent:
@@ -353,7 +355,7 @@ class TcpSocket:
             sent += chunk
         return True
 
-    def _await_window(self, chunk: int):
+    def _await_window(self, chunk: int) -> Generator[Event, Any, bool]:
         while self._sent_bytes - self._acked_bytes + chunk > self.window:
             waiter = self.sim.event()
             self._window_waiter = waiter
@@ -395,7 +397,7 @@ class TcpSocket:
             self._rto_timer_running = True
             self.sim.timeout(self._rto_current).callbacks.append(self._on_rto)
 
-    def _on_rto(self, _event) -> None:
+    def _on_rto(self, _event: Event) -> None:
         self._rto_timer_running = False
         if self.state in ("reset", "closed"):
             return
@@ -522,7 +524,8 @@ class TcpSocket:
                     listener.handle_segment(segment, packet)
             return
 
-    _on_established = None  # set by TcpListener for server-side sockets
+    #: set by TcpListener for server-side sockets
+    _on_established: Optional[Callable[["TcpSocket"], None]] = None
 
     # -- wire output ------------------------------------------------------------
 
@@ -555,7 +558,7 @@ class TcpListener:
         reliable: bool = False,
         rto: float = 0.05,
         max_retransmits: int = 8,
-    ):
+    ) -> None:
         self.sim = sim
         self.stack = stack
         self.ip = ip

@@ -17,7 +17,6 @@ from repro.objstore.protocol import (
     GetRequest,
     ListRequest,
     OBJECT_PORT,
-    ObjectResponse,
     PutRequest,
     next_request_id,
 )

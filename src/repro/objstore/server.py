@@ -9,7 +9,6 @@ log-structured stores — not modeled).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.blockdev import Volume
 from repro.fs.layout import BLOCK_SIZE

@@ -39,7 +39,7 @@ class SimulationError(Exception):
 class Interrupt(Exception):
     """Thrown into a process by :meth:`Process.interrupt`."""
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -53,7 +53,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "ok", "_processed")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: list[Callable[[Event], None]] = []
         self._value: Any = _UNSET
@@ -100,7 +100,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
@@ -115,7 +115,7 @@ class _ConditionBase(Event):
 
     __slots__ = ("events", "_fired")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._fired = 0
@@ -180,7 +180,9 @@ class Process(Event):
 
     __slots__ = ("_generator", "name", "_waiting_on", "_epoch")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None):
+    def __init__(
+        self, sim: "Simulator", generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> None:
         super().__init__(sim)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -266,10 +268,10 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_deferred", "_sequence")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
-        self._deferred: deque = deque()
+        self._deferred: deque[tuple[Any, ...]] = deque()
         self._sequence = 0
 
     # -- scheduling --------------------------------------------------
@@ -298,7 +300,9 @@ class Simulator:
     def event(self) -> Event:
         return Event(self)
 
-    def process(self, generator: Generator, name: str | None = None) -> Process:
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

@@ -30,7 +30,7 @@ class Request(Event):
 
     __slots__ = ("resource", "_state")
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.sim)
         self.resource = resource
         self._state = _QUEUED
@@ -41,7 +41,7 @@ class Resource:
 
     __slots__ = ("sim", "capacity", "count", "queue", "_waiting")
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -95,7 +95,7 @@ class Store:
 
     __slots__ = ("sim", "items", "_getters")
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()

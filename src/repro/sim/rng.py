@@ -8,12 +8,15 @@ function of its seed.
 from __future__ import annotations
 
 import random
+from typing import MutableSequence, Sequence, TypeVar
+
+T = TypeVar("T")
 
 
 class SeededRNG:
     """A named, seeded random stream with child-stream derivation."""
 
-    def __init__(self, seed: int = 0, name: str = "root"):
+    def __init__(self, seed: int = 0, name: str = "root") -> None:
         self.seed = seed
         self.name = name
         self._random = random.Random(seed)
@@ -39,13 +42,13 @@ class SeededRNG:
     def gauss(self, mu: float, sigma: float) -> float:
         return self._random.gauss(mu, sigma)
 
-    def choice(self, seq):
+    def choice(self, seq: Sequence[T]) -> T:
         return self._random.choice(seq)
 
-    def shuffle(self, seq) -> None:
+    def shuffle(self, seq: MutableSequence[T]) -> None:
         self._random.shuffle(seq)
 
-    def sample(self, seq, k: int):
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
         return self._random.sample(seq, k)
 
     def randbytes(self, n: int) -> bytes:

@@ -9,7 +9,7 @@ request; IOPS over the whole run.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.metrics import LatencyStats

@@ -8,7 +8,7 @@ normalized between tenant-side and middle-box encryption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.fs.extfs import ExtFilesystem, FsError
 from repro.fs.layout import BLOCK_SIZE

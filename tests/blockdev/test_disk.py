@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.blockdev import Disk, Volume, VolumeGroup
+from repro.blockdev import Disk, VolumeGroup
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.sim import Simulator
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import CloudController, CloudParams
+from repro.cloud import CloudController
 from repro.fs.layout import BLOCK_SIZE
 from repro.sim import Simulator
 

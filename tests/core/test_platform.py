@@ -3,10 +3,7 @@
 import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
-from repro.core.policy import ServiceSpec
-from repro.core.relay import RelayMode
 
-from tests.core.conftest import StormEnv
 
 
 def io_roundtrip(env, flow, payload=None, offset=0):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.core.policy import (
-    ChainPolicy,
     PolicyError,
     ServiceSpec,
     TenantPolicy,

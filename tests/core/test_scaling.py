@@ -3,7 +3,7 @@
 import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
-from repro.core.policy import PolicyError, ServiceSpec
+from repro.core.policy import PolicyError
 from repro.core.scaling import MiddleboxAutoscaler
 from repro.workloads import FioConfig, FioJob
 

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.blockdev.disk import BLOCK_SIZE
 from repro.core.attribution import ConnectionAttributor
 from repro.core.splicing import (
-    GatewayPair,
     create_gateway_pair,
     install_attach_nat,
     remove_attach_nat,

@@ -5,7 +5,6 @@ replica converges byte-identical to the primary, a filesystem on the
 faulted path stays fsck-clean, and the whole run is bit-reproducible
 (run-twice identical)."""
 
-import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.core.policy import ServiceSpec

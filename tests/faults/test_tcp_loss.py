@@ -4,7 +4,6 @@ import pytest
 
 from repro.faults import FaultInjector
 from repro.net.tcp import ConnectionReset, EOF, TcpListener, TcpSocket
-from repro.sim import Simulator
 
 from tests.net.helpers import two_hosts_one_switch
 

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.fs import ExtFilesystem
 from repro.fs.fsck import fsck
 from repro.fs.inode import Inode, MODE_FILE
-from repro.fs.layout import BLOCK_SIZE, ROOT_INODE
+from repro.fs.layout import BLOCK_SIZE
 
 from tests.fs.conftest import run
 

@@ -6,7 +6,6 @@ from repro.blockdev import Disk, VolumeGroup
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.iscsi import IscsiInitiator, IscsiTarget, SessionDead, volume_iqn
 from repro.iscsi.initiator import LoginFailed
-from repro.sim import Simulator
 
 from tests.net.helpers import two_hosts_one_switch
 

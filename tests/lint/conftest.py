@@ -1,0 +1,31 @@
+"""Helpers shared by the stormlint tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_file_source
+from repro.lint.findings import instantiate
+
+
+@pytest.fixture
+def lint():
+    """Lint a source snippet as if it lived at ``path``; returns all
+    findings (suppressed ones included, flagged)."""
+
+    def _lint(source: str, path: str = "src/repro/_fixture.py", select=None):
+        rules = instantiate(select)
+        return lint_file_source(textwrap.dedent(source), path, rules)
+
+    return _lint
+
+
+def hits(findings, rule_id):
+    """The non-suppressed findings for one rule."""
+    return [f for f in findings if f.rule_id == rule_id and not f.suppressed]
+
+
+def suppressed(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id and f.suppressed]

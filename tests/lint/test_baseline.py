@@ -1,0 +1,112 @@
+"""Baseline round-trip, fingerprint stability, and stale detection."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import run_lint
+
+BAD_MODULE = textwrap.dedent(
+    """
+    import random
+
+    def bucket(cookie, n):
+        return hash(cookie) % n
+    """
+)
+
+
+def _write_tree(root, source=BAD_MODULE):
+    pkg = root / "src" / "repro"
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "bad.py").write_text(source)
+    return root
+
+
+def test_findings_then_baseline_then_clean(tmp_path):
+    _write_tree(tmp_path)
+    first = run_lint(["src"], root=str(tmp_path))
+    assert {f.rule_id for f in first.new} == {"global-random", "unstable-hash"}
+
+    base_path = tmp_path / ".stormlint-baseline.json"
+    baseline_mod.save(baseline_mod.Baseline.from_findings(first.new), str(base_path))
+
+    second = run_lint(["src"], root=str(tmp_path), baseline_path=str(base_path))
+    assert second.new == []
+    assert len(second.baselined) == len(first.new)
+    assert second.ok
+
+
+def test_baseline_survives_line_churn(tmp_path):
+    _write_tree(tmp_path)
+    first = run_lint(["src"], root=str(tmp_path))
+    base_path = tmp_path / "base.json"
+    baseline_mod.save(baseline_mod.Baseline.from_findings(first.new), str(base_path))
+
+    # Insert lines above the grandfathered ones: line numbers move but
+    # the fingerprints (keyed on line text) must still match.
+    shifted = '"""A docstring."""\n# a comment\n\n' + BAD_MODULE
+    _write_tree(tmp_path, shifted)
+    result = run_lint(["src"], root=str(tmp_path), baseline_path=str(base_path))
+    assert result.new == []
+    assert len(result.baselined) == len(first.new)
+
+
+def test_new_violation_not_masked_by_baseline(tmp_path):
+    _write_tree(tmp_path)
+    first = run_lint(["src"], root=str(tmp_path))
+    base_path = tmp_path / "base.json"
+    baseline_mod.save(baseline_mod.Baseline.from_findings(first.new), str(base_path))
+
+    grown = BAD_MODULE + "\n\ndef f(xs):\n    return sorted(xs, key=id)\n"
+    _write_tree(tmp_path, grown)
+    result = run_lint(["src"], root=str(tmp_path), baseline_path=str(base_path))
+    assert [f.rule_id for f in result.new] == ["id-sort-key"]
+
+
+def test_stale_entries_reported(tmp_path):
+    _write_tree(tmp_path)
+    first = run_lint(["src"], root=str(tmp_path))
+    base_path = tmp_path / "base.json"
+    baseline_mod.save(baseline_mod.Baseline.from_findings(first.new), str(base_path))
+
+    _write_tree(tmp_path, "def clean():\n    return 1\n")
+    result = run_lint(["src"], root=str(tmp_path), baseline_path=str(base_path))
+    assert result.new == []
+    assert len(result.stale_baseline) == len(first.new)
+
+
+def test_identical_lines_fingerprint_distinctly(tmp_path):
+    source = "a = hash('x')\nb = 2\na = hash('x')\n"
+    _write_tree(tmp_path, source)
+    result = run_lint(["src"], root=str(tmp_path))
+    prints = [f.fingerprint for f in result.new]
+    assert len(prints) == 2
+    assert len(set(prints)) == 2
+
+
+def test_baseline_file_round_trip(tmp_path):
+    _write_tree(tmp_path)
+    findings = run_lint(["src"], root=str(tmp_path)).new
+    base = baseline_mod.Baseline.from_findings(findings)
+    path = tmp_path / "b.json"
+    baseline_mod.save(base, str(path))
+
+    loaded = baseline_mod.load(str(path))
+    assert loaded.entries.keys() == base.entries.keys()
+    raw = json.loads(path.read_text())
+    assert raw["version"] == baseline_mod.BASELINE_VERSION
+    for entry in raw["findings"].values():
+        assert {"rule", "path", "line", "snippet"} <= entry.keys()
+
+
+def test_missing_baseline_is_empty_and_corrupt_raises(tmp_path):
+    assert len(baseline_mod.load(str(tmp_path / "absent.json"))) == 0
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{not json")
+    with pytest.raises(baseline_mod.BaselineError):
+        baseline_mod.load(str(bad))

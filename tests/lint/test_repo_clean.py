@@ -1,0 +1,42 @@
+"""Meta-test: the repo's own source tree must satisfy stormlint.
+
+This is the same gate CI's static-analysis job applies — any new
+determinism or simulation-safety hazard in ``src/`` (or a tracked
+``.pyc``) fails here first, with the offending location in the
+assertion message.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.lint.engine import run_lint
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+BASELINE = ".stormlint-baseline.json"
+
+
+def test_source_tree_clean_modulo_baseline():
+    result = run_lint(
+        ["src", "tests"],
+        root=REPO_ROOT,
+        baseline_path=BASELINE if os.path.exists(os.path.join(REPO_ROOT, BASELINE)) else None,
+    )
+    assert not result.errors, result.errors
+    locations = [f"{f.location()} {f.rule_id}: {f.message}" for f in result.new]
+    assert not locations, "\n".join(locations)
+    assert result.files_checked > 100  # the whole tree was really walked
+
+
+def test_baseline_has_no_stale_entries():
+    """Fixed debt must be pruned so the baseline only shrinks honestly."""
+    path = os.path.join(REPO_ROOT, BASELINE)
+    if not os.path.exists(path):
+        return
+    result = run_lint(["src", "tests"], root=REPO_ROOT, baseline_path=BASELINE)
+    assert result.stale_baseline == [], (
+        "stale baseline entries (regenerate with --write-baseline): "
+        f"{result.stale_baseline}"
+    )

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.net import NatRule, NatTable, Packet, TcpListener, TcpSocket
 from repro.net.packet import FiveTuple
-from repro.sim import Simulator
 
 from tests.net.helpers import two_hosts_one_switch
 

@@ -4,10 +4,8 @@ import pytest
 
 from repro.net import NatRule, TcpListener, TcpSocket
 from repro.net.tcp import EOF, RESET
-from repro.sim import Simulator
 
-from tests.net.helpers import make_host, two_hosts_one_switch
-from repro.net import ArpTable, Switch
+from tests.net.helpers import two_hosts_one_switch
 
 
 def build_pair(window=65536, mss=4096):

@@ -1,6 +1,5 @@
 """Replication middle-box: fan-out, striping, failover."""
 
-import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.core.policy import ServiceSpec

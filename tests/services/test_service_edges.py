@@ -1,6 +1,5 @@
 """Edge cases across the service layer."""
 
-import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.core.middlebox import NoopService, StorageService, payload_bytes

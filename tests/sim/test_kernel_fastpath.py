@@ -9,7 +9,7 @@ events, zero-delay timeouts, process resumes).
 
 import pytest
 
-from repro.sim import Event, Interrupt, Resource, SimulationError, Simulator, Store
+from repro.sim import Interrupt, Resource, SimulationError, Simulator, Store
 
 
 def test_same_time_mixed_sources_fire_in_schedule_order():

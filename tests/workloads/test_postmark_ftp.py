@@ -4,7 +4,7 @@ import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.fs import ExtFilesystem, SessionDevice
-from repro.workloads import FioConfig, FtpTransfer, PostmarkConfig, PostmarkJob
+from repro.workloads import FtpTransfer, PostmarkConfig, PostmarkJob
 
 from tests.core.conftest import StormEnv
 from tests.workloads.test_fio import legacy_session
