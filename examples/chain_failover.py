@@ -9,16 +9,30 @@ restarts, the watchdog reinstates the original chain.  A background
 reconciler audits SDN/NAT state throughout, and the transactional
 platform journals every control operation in its intent log.
 
-Run:  python examples/chain_failover.py
+The whole run is traced through :mod:`repro.obs`: the fault timeline
+rides the same bus as the request spans, and the report ends with a
+per-hop latency breakdown of one traced write (where each microsecond
+went, initiator -> gateways -> chain -> target and back).
+
+Run:  python examples/chain_failover.py [--trace out.jsonl] [--chrome out.json]
 """
 
-from repro.analysis import EventLog
+import argparse
+
 from repro.blockdev.disk import BLOCK_SIZE
 from repro.cloud import CloudController
 from repro.cloud.params import CloudParams
 from repro.core import ChainWatchdog, Reconciler, StorM
 from repro.core.policy import ServiceSpec
 from repro.faults import FaultInjector
+from repro.obs import (
+    ObsBus,
+    first_trace,
+    format_hop_table,
+    instrument,
+    make_event_log,
+    trace_rows,
+)
 from repro.services import install_default_services
 from repro.sim import Simulator
 from repro.workloads import FioConfig, FioJob
@@ -26,7 +40,16 @@ from repro.workloads import FioConfig, FioJob
 VOLUME_SIZE = 2048 * BLOCK_SIZE
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--trace", metavar="PATH", help="export the trace stream as JSONL"
+    )
+    parser.add_argument(
+        "--chrome", metavar="PATH", help="export a chrome://tracing JSON file"
+    )
+    args = parser.parse_args(argv)
+
     sim = Simulator()
     params = CloudParams(
         tcp_reliable=True,
@@ -42,9 +65,11 @@ def main():
     vm = cloud.boot_vm(tenant, "app1", cloud.compute_hosts["compute1"])
     cloud.create_volume(tenant, "data-vol", VOLUME_SIZE)
 
-    log = EventLog()
+    bus = ObsBus(sim)
+    log = make_event_log(bus)  # fault timeline rides the trace bus
     storm = StorM(sim, cloud, transactional=True, event_log=log)
     install_default_services(storm)
+    instrument(bus, storm=storm)  # late-created gateways/boxes self-wire
     injector = FaultInjector(sim, seed=42, log=log)
 
     chain = [
@@ -101,9 +126,23 @@ def main():
         if bypasses and reinstates
         else "failover: (none observed)"
     )
+
+    # -- one traced write, hop by hop -------------------------------------
+    records = bus.export_records()
+    trace = first_trace(records, root_prefix="iscsi.write")
     print()
-    print("-- failover timeline (repro.analysis) --")
-    print(log.format())
+    print("-- per-hop latency of the first traced write (repro.obs) --")
+    print(format_hop_table(trace_rows(records, trace)))
+    print(
+        f"\ntrace stream: {len(records)} records, "
+        f"{bus.spans_started} spans, {bus.events_emitted} events"
+    )
+    if args.trace:
+        bus.export_jsonl(args.trace)
+        print(f"wrote JSONL trace to {args.trace}")
+    if args.chrome:
+        bus.export_chrome(args.chrome)
+        print(f"wrote chrome trace to {args.chrome} (open in chrome://tracing)")
 
     # -- invariants --------------------------------------------------------
     assert result.completed == 200, "fio did not finish across the failover"
@@ -114,6 +153,7 @@ def main():
     assert flow.middleboxes == [mb_a, mb_b], "desired chain not restored"
     assert Reconciler(storm).audit() == [], "reconciler audit found drift"
     assert storm.intent_log.incomplete() == [], "intent log left in-flight sagas"
+    assert trace is not None, "no traced write found in the export"
     print(
         "OK: failover absorbed — bypass + reinstate, audit clean, "
         f"{len(storm.intent_log)} sagas journaled"

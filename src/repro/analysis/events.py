@@ -1,56 +1,12 @@
-"""A timestamped fault/recovery event timeline.
+"""Back-compat re-export: the event timeline moved to ``repro.obs``.
 
-Fault injection and every recovery path (TCP resets, iSCSI re-logins,
-relay replays, replica resyncs, pool healing) record into one shared
-:class:`EventLog`, so a chaos run can be summarized as a single
-ordered timeline — the artifact the paper's Figures 12/13 narrate in
-prose ("the replica is killed at t=60s; throughput recovers within
-seconds").
+The :class:`EventLog` grew into a façade over the observability bus
+(see :mod:`repro.obs.eventlog`); this module keeps the original import
+path working for existing analysis code and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.eventlog import EventLog, EventRecord, make_event_log
 
-
-@dataclass
-class EventRecord:
-    when: float
-    kind: str  # e.g. "fault.crash", "recover.relogin", "replica.rejoin"
-    target: str = ""
-    detail: dict = field(default_factory=dict)
-
-    def format(self) -> str:
-        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        text = f"[{self.when:10.6f}s] {self.kind:<22} {self.target}"
-        return f"{text} {extras}".rstrip()
-
-
-class EventLog:
-    """Ordered record of faults injected and recoveries performed."""
-
-    def __init__(self):
-        self.records: list[EventRecord] = []
-
-    def record(self, when: float, kind: str, target: str = "", **detail) -> EventRecord:
-        record = EventRecord(when, kind, target, detail)
-        self.records.append(record)
-        return record
-
-    def kinds(self, prefix: str = "") -> list[str]:
-        return [r.kind for r in self.records if r.kind.startswith(prefix)]
-
-    def matching(self, prefix: str) -> list[EventRecord]:
-        return [r for r in self.records if r.kind.startswith(prefix)]
-
-    def count(self, prefix: str = "") -> int:
-        return sum(1 for r in self.records if r.kind.startswith(prefix))
-
-    def format(self) -> str:
-        return "\n".join(r.format() for r in self.records)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self):
-        return iter(self.records)
+__all__ = ["EventLog", "EventRecord", "make_event_log"]

@@ -67,6 +67,9 @@ class Disk:
         #: True fails the I/O with :class:`DiskIOError` after the
         #: simulated access time.  ``None`` (the default) is free.
         self.fault_hook = None
+        #: observability bus hook: records a per-I/O service-time
+        #: histogram scoped by disk name.  ``None`` (the default) is free.
+        self.obs = None
 
     def set_queue_depth(self, depth: int) -> None:
         """Replace the device queue (only while idle) — used to model a
@@ -89,6 +92,10 @@ class Disk:
                 service += self.seek_penalty
             self._last_end_offset = offset + length
             self.stats.busy_time += service
+            if self.obs is not None:
+                self.obs.metrics.histogram("disk.service_time", self.name).observe(
+                    service
+                )
             yield self.sim.timeout(service)
             if self.fault_hook is not None and self.fault_hook(op, offset, length):
                 self.stats.errors += 1

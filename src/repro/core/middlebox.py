@@ -51,6 +51,9 @@ class StorageService:
     def __init__(self):
         self.middlebox: Optional["MiddleBox"] = None
         self.pdus_processed = 0
+        #: observability bus hook — services record per-op counters
+        #: scoped by tenant when set; None = no overhead.
+        self.obs = None
 
     def attach(self, middlebox: "MiddleBox") -> None:
         self.middlebox = middlebox

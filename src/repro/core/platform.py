@@ -105,6 +105,10 @@ class StorM:
         #: recovery/repair timeline (shared with the fault injector in
         #: chaos runs); None keeps the fast path allocation-free.
         self.event_log = event_log
+        #: observability bus (set by ``repro.obs.instrument``): when
+        #: non-None every saga runs under a span with step events, and
+        #: gateways/relays/services created later inherit the bus.
+        self.obs = None
         self.transactional = transactional
         self.controller: Optional[ControlPlaneNode] = None
         self.intent_log: Optional[IntentLog] = None
@@ -148,6 +152,11 @@ class StorM:
         egress_host = egress_host or hosts[-1]
         pair = create_gateway_pair(self.cloud, tenant, ingress_host, egress_host)
         self.gateway_pairs[tenant.name] = pair
+        if self.obs is not None:
+            from repro.obs.instrument import wire_node
+
+            wire_node(self.obs, pair.ingress)
+            wire_node(self.obs, pair.egress)
         return pair
 
     # -- the saga executor -------------------------------------------------
@@ -212,6 +221,7 @@ class StorM:
         in-flight in the intent log for :meth:`recover`.
         """
         grant = None
+        span = self._saga_span(saga)
         if any(step.locked for step in saga.steps):
             grant = self._attach_mutex.request()
             yield grant
@@ -226,21 +236,36 @@ class StorM:
                 if isinstance(result, GeneratorType):
                     result = yield self.sim.process(result)
                 self._finish_step(saga, step, result)
+                if span is not None:
+                    span.event("saga.step", target=step.name)
                 self._probe(saga, step, "after")
             self._commit_saga(saga)
+            if span is not None:
+                span.finish("committed")
             return saga.results.get(saga.steps[-1].name) if saga.steps else None
         except ControllerCrashed:
+            if span is not None:
+                span.finish("crashed")
             raise
         except BaseException:
             self._rollback_saga(saga)
+            if span is not None:
+                span.finish("aborted")
             raise
         finally:
             if grant is not None:
                 self._attach_mutex.release(grant)
 
+    def _saga_span(self, saga: Saga):
+        """Control-plane op as a span (None when uninstrumented)."""
+        if self.obs is None:
+            return None
+        return self.obs.span(f"saga.{saga.op}", cookie=saga.cookie)
+
     def _execute_saga_sync(self, saga: Saga):
         """Synchronous executor for sagas whose steps never yield
         (detach, reconfigure, provisioning)."""
+        span = self._saga_span(saga)
         try:
             for step in saga.steps:
                 self._probe(saga, step, "before")
@@ -251,13 +276,21 @@ class StorM:
                         f"step {step.name!r} of {saga.op!r} yields; use the process executor"
                     )
                 self._finish_step(saga, step, result)
+                if span is not None:
+                    span.event("saga.step", target=step.name)
                 self._probe(saga, step, "after")
             self._commit_saga(saga)
+            if span is not None:
+                span.finish("committed")
             return saga.results.get(saga.steps[-1].name) if saga.steps else None
         except ControllerCrashed:
+            if span is not None:
+                span.finish("crashed")
             raise
         except BaseException:
             self._rollback_saga(saga)
+            if span is not None:
+                span.finish("aborted")
             raise
 
     def _commit_saga(self, saga: Saga) -> None:
@@ -370,6 +403,14 @@ class StorM:
         host.committed_vcpus += mb.vcpus
         host.committed_memory_mb += mb.memory_mb
         self.middleboxes[name] = mb
+        if self.obs is not None:
+            from repro.obs.instrument import wire_node
+
+            wire_node(self.obs, mb)
+            if mb.relay is not None:
+                mb.relay.obs = self.obs
+            if mb.service is not None:
+                mb.service.obs = self.obs
         return mb
 
     def deprovision_middlebox(self, mb: MiddleBox) -> None:
@@ -432,6 +473,8 @@ class StorM:
             egress_port=port,
             cookie=f"redirect:{mb.name}",
         )
+        if self.obs is not None:
+            mb.relay.obs = self.obs
 
     # -- the atomic attach -------------------------------------------------------
 
@@ -488,36 +531,49 @@ class StorM:
         ]
         return steps, state
 
-    def attach_with_services(
+    def _attach_spliced_flow(
         self,
+        *,
+        op: str,
         tenant: Tenant,
         vm: VirtualMachine,
-        volume_name: str,
+        host,
         middleboxes: list[MiddleBox],
+        cookie: str,
+        target_ip: str,
+        port: int,
+        volume_name: str,
+        connect: Callable[[], GeneratorType],
         ingress_host: Optional[ComputeHost] = None,
         egress_host: Optional[ComputeHost] = None,
+        attribute: bool = False,
+        volume=None,
+        detail: Optional[dict] = None,
     ):
-        """Process: splice + steer + attach one volume through a chain."""
-        volume, storage_host = self.cloud.volume_location(volume_name)
-        target_ip = storage_host.storage_iface.ip
-        gateways = self.ensure_gateways(tenant, ingress_host, egress_host)
-        self.attributor.watch_host(vm.host)
-        from repro.iscsi.pdu import ISCSI_PORT
+        """Process: the steering/rollback core shared by both attach
+        paths (block volumes and object sessions).
 
+        Ensures the tenant's gateways, configures active relays on the
+        service port, builds the steering chain, and runs the atomic
+        attach saga from :meth:`_spliced_attach_steps`.  ``attribute``
+        turns on connection attribution (block attach only — object
+        flows have no login hook to attribute); ``volume`` (when given)
+        is handed to each chained service's ``on_volume_attached``.
+        """
+        gateways = self.ensure_gateways(tenant, ingress_host, egress_host)
         for mb in middleboxes:
             if mb.relay_mode is RelayMode.ACTIVE:
-                self._configure_active_relay(mb, gateways, ISCSI_PORT)
-        cookie = f"storm:{vm.name}:{volume_name}"
-        chain = SteeringChain(self.cloud.sdn, gateways, list(middleboxes), cookie)
-
-        def connect():
-            return vm.host.attach_volume(vm, volume_name, volume.iqn, target_ip)
+                self._configure_active_relay(mb, gateways, port)
+        chain = SteeringChain(
+            self.cloud.sdn, gateways, list(middleboxes), cookie, service_port=port
+        )
 
         def narrow(state):
             session = state["session"]
-            state["attribution"] = self.attributor.attribute(
-                vm.host.storage_iface.ip, session.local_port
-            )
+            if attribute:
+                state["attribution"] = self.attributor.attribute(
+                    host.storage_iface.ip, session.local_port
+                )
             chain.narrow(session.local_port)
 
         def register(state):
@@ -535,27 +591,62 @@ class StorM:
                 attribution=state.get("attribution"),
             )
             self.flows.append(flow)
-            for mb in middleboxes:
-                if mb.service is not None:
-                    mb.service.on_volume_attached(volume, flow)
+            if volume is not None:
+                for mb in middleboxes:
+                    if mb.service is not None:
+                        mb.service.on_volume_attached(volume, flow)
             return flow
 
         steps, state = self._spliced_attach_steps(
-            host=vm.host,
+            host=host,
             gateways=gateways,
             chain=chain,
             cookie=cookie,
             target_ip=target_ip,
-            port=ISCSI_PORT,
+            port=port,
             connect=connect,
             narrow=narrow,
             register=register,
         )
-        saga = self._begin_saga(
-            "attach_with_services", cookie, steps, state=state,
-            vm=vm.name, volume=volume_name,
-        )
+        saga = self._begin_saga(op, cookie, steps, state=state, **(detail or {}))
         flow = yield from self._execute_saga(saga)
+        return flow
+
+    def attach_with_services(
+        self,
+        tenant: Tenant,
+        vm: VirtualMachine,
+        volume_name: str,
+        middleboxes: list[MiddleBox],
+        ingress_host: Optional[ComputeHost] = None,
+        egress_host: Optional[ComputeHost] = None,
+    ):
+        """Process: splice + steer + attach one volume through a chain."""
+        volume, storage_host = self.cloud.volume_location(volume_name)
+        target_ip = storage_host.storage_iface.ip
+        self.attributor.watch_host(vm.host)
+        from repro.iscsi.pdu import ISCSI_PORT
+
+        def connect():
+            return vm.host.attach_volume(vm, volume_name, volume.iqn, target_ip)
+
+        flow = yield from self._attach_spliced_flow(
+            op="attach_with_services",
+            tenant=tenant,
+            vm=vm,
+            host=vm.host,
+            middleboxes=middleboxes,
+            cookie=f"storm:{vm.name}:{volume_name}",
+            target_ip=target_ip,
+            port=ISCSI_PORT,
+            volume_name=volume_name,
+            connect=connect,
+            ingress_host=ingress_host,
+            egress_host=egress_host,
+            attribute=True,
+            volume=volume,
+            detail={"vm": vm.name, "volume": volume_name},
+        )
         return flow
 
     # -- object-storage flows (§II-A: "equally applicable") --------------------
@@ -589,53 +680,25 @@ class StorM:
                 mss=self.cloud.params.mss,
                 window=self.cloud.params.tcp_window,
             )
-        gateways = self.ensure_gateways(tenant, ingress_host, egress_host)
-        for mb in middleboxes:
-            if mb.relay_mode is RelayMode.ACTIVE:
-                self._configure_active_relay(mb, gateways, port)
-        cookie = f"storm-obj:{vm.name}:{server_ip}:{port}"
-        chain = SteeringChain(
-            self.cloud.sdn, gateways, list(middleboxes), cookie, service_port=port
-        )
 
         def connect():
             return host.object_client.connect(server_ip, port)
 
-        def narrow(state):
-            chain.narrow(state["session"].local_port)
-
-        def register(state):
-            session = state["session"]
-            flow = StorMFlow(
-                tenant_name=tenant.name,
-                vm_name=vm.name,
-                volume_name=f"objstore://{server_ip}:{port}",
-                src_port=session.local_port,
-                middleboxes=list(middleboxes),
-                chain=chain,
-                gateways=gateways,
-                cookie=cookie,
-                session=session,
-            )
-            self.flows.append(flow)
-            return flow
-
-        steps, state = self._spliced_attach_steps(
+        flow = yield from self._attach_spliced_flow(
+            op="attach_object_session",
+            tenant=tenant,
+            vm=vm,
             host=host,
-            gateways=gateways,
-            chain=chain,
-            cookie=cookie,
+            middleboxes=middleboxes,
+            cookie=f"storm-obj:{vm.name}:{server_ip}:{port}",
             target_ip=server_ip,
             port=port,
+            volume_name=f"objstore://{server_ip}:{port}",
             connect=connect,
-            narrow=narrow,
-            register=register,
+            ingress_host=ingress_host,
+            egress_host=egress_host,
+            detail={"vm": vm.name, "server": server_ip},
         )
-        saga = self._begin_saga(
-            "attach_object_session", cookie, steps, state=state,
-            vm=vm.name, server=server_ip,
-        )
-        flow = yield from self._execute_saga(saga)
         return flow
 
     # -- policy-driven deployment ---------------------------------------------

@@ -89,6 +89,8 @@ class Reconciler:
     def __init__(self, storm, event_log=None, gc_crashed_middleboxes: bool = False):
         self.storm = storm
         self.event_log = event_log if event_log is not None else storm.event_log
+        #: observability bus inherited from the platform (None = off)
+        self.obs = getattr(storm, "obs", None)
         #: deprovision crashed flowless middle-boxes during repair
         #: (off by default: the autoscaler may still be healing them)
         self.gc_crashed_middleboxes = gc_crashed_middleboxes
@@ -114,6 +116,8 @@ class Reconciler:
 
     def audit(self) -> list[Drift]:
         """Read-only sweep; returns every invariant violation found."""
+        if self.obs is not None:
+            self.obs.metrics.counter("reconcile.audits").inc()
         drifts: list[Drift] = []
         flows_by_cookie = {f.cookie: f for f in self._live_flows()}
         in_flight = self._in_flight_cookies()
@@ -212,6 +216,8 @@ class Reconciler:
                 if mb is not None:
                     self.storm.deprovision_middlebox(mb)
             self.repairs.append(drift)
+            if self.obs is not None:
+                self.obs.metrics.counter("reconcile.repairs").inc()
             if self.event_log is not None:
                 self.event_log.record(
                     self.storm.sim.now,

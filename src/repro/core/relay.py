@@ -55,6 +55,8 @@ class PassiveRelay:
         self.middlebox = middlebox
         self.params = params
         self.packets_copied = 0
+        #: observability bus hook; None = uninstrumented fast path
+        self.obs = None
         middlebox.stack.forward_hook = self._hook
 
     def _hook(self, packet: Packet):
@@ -62,10 +64,21 @@ class PassiveRelay:
         if not isinstance(segment, TcpSegment) or segment.kind != "data":
             return
         self.packets_copied += 1
+        obs = self.obs
+        span = None
+        if obs is not None:
+            obs.metrics.counter("relay.passive_copies", self.middlebox.name).inc()
+            if packet.ctx is not None:
+                span = obs.span(
+                    "relay.passive", parent=packet.ctx,
+                    target=self.middlebox.name, bytes=segment.length,
+                )
         # one syscall-and-copy per packet — the cost the paper measures
         yield from self.middlebox.cpu.consume(self.params.passive_copy_cost)
         service = self.middlebox.service
         if service is None:
+            if span is not None:
+                span.finish()
             return
         cost = service.cpu_per_byte * segment.length
         if cost:
@@ -77,6 +90,8 @@ class PassiveRelay:
                 segment.message = service.transform_upstream(segment.message)
             else:
                 segment.message = service.transform_downstream(segment.message)
+        if span is not None:
+            span.finish()
 
 
 @dataclass
@@ -143,6 +158,9 @@ class ActiveRelay:
         self.reconnect_delay = reconnect_delay
         #: optional :class:`repro.analysis.EventLog` for recovery timelines
         self.event_log = None
+        #: observability bus hook: when set, relayed PDUs run under
+        #: spans and NVM journal transitions emit events.  None = off.
+        self.obs = None
         #: the NVM journal: PDUs received but not yet ACKed by next hop.
         #: For SCSI commands "ACKed" means *responded to* — a TCP ACK
         #: only proves the next hop's socket buffered the bytes, not
@@ -314,6 +332,13 @@ class ActiveRelay:
         entry_id = self._command_entries.pop(response.task_tag, None)
         if entry_id is not None:
             self.nvm.pop(entry_id, None)
+            if self.obs is not None:
+                self.obs.event(
+                    "nvm.retire",
+                    target=self.middlebox.name,
+                    ctx=getattr(response, "ctx", None),
+                    journal=len(self.nvm),
+                )
 
     def _drop_flow_entries(self, flow) -> None:
         """The VM side ended the flow: nobody is waiting for these."""
@@ -333,11 +358,31 @@ class ActiveRelay:
         self.nvm[entry.entry_id] = entry
         self.nvm_peak = max(self.nvm_peak, len(self.nvm))
         self.pdus_relayed += 1
+        obs = self.obs
+        span = None
+        if obs is not None:
+            trace_ctx = getattr(pdu, "ctx", None)
+            span = obs.span(
+                "relay.active", parent=trace_ctx,
+                target=self.middlebox.name, direction=direction,
+            )
+            span.event("nvm.append", target=self.middlebox.name,
+                       journal=len(self.nvm))
+            obs.metrics.counter("relay.pdus", self.middlebox.name).inc()
+            obs.metrics.gauge("relay.nvm", self.middlebox.name).set(len(self.nvm))
         ctx = self._make_context(entry, pair, direction)
         if service is not None:
+            svc_span = None
+            if span is not None:
+                svc_span = obs.span(f"service.{service.name}", parent=span,
+                                    target=self.middlebox.name)
             yield from service.process(pdu, direction, ctx, charged=True)
+            if svc_span is not None:
+                svc_span.finish()
         else:
             ctx.forward(pdu)
+        if span is not None:
+            span.finish()
         if not ctx.consumed:
             self.nvm.pop(entry.entry_id, None)
         else:
@@ -355,6 +400,17 @@ class ActiveRelay:
             entry = NvmEntry(next(self._entry_ids), None, direction, self.sim.now, flow)
             self.nvm[entry.entry_id] = entry
             self.nvm_peak = max(self.nvm_peak, len(self.nvm))
+            if self.obs is not None:
+                self.obs.event(
+                    "nvm.append",
+                    target=self.middlebox.name,
+                    ctx=getattr(segment.message, "ctx", None),
+                    journal=len(self.nvm),
+                )
+                self.obs.metrics.counter("relay.pdus", self.middlebox.name).inc()
+                self.obs.metrics.gauge("relay.nvm", self.middlebox.name).set(
+                    len(self.nvm)
+                )
             if buffered:
                 # store-and-forward: no outgoing stream until the
                 # service has ruled on the complete PDU (gatekeepers
@@ -480,6 +536,13 @@ class ActiveRelay:
         if entry.direction == "upstream" and isinstance(entry.pdu, ScsiCommandPdu):
             return  # retired by the downstream response, not the TCP ACK
         self.nvm.pop(entry_id, None)
+        if self.obs is not None:
+            self.obs.event(
+                "nvm.retire",
+                target=self.middlebox.name,
+                ctx=getattr(entry.pdu, "ctx", None),
+                journal=len(self.nvm),
+            )
 
     def _replay_stale(self, pair: RelayPair, login_entry_id: int, flow) -> None:
         """Middle-box crash recovery: the journal is NVM, so entries
@@ -506,6 +569,9 @@ class ActiveRelay:
             self._send_tracked_safe(pair.client, entry.pdu, entry)
         if replayed:
             self._log("relay.replay-stale", replayed=replayed)
+            if self.obs is not None:
+                self.obs.event("nvm.replay", target=self.middlebox.name,
+                               count=replayed, reason="restart")
 
     # -- downstream failure recovery --------------------------------------
 
@@ -550,6 +616,9 @@ class ActiveRelay:
                     replayed += 1
                     self._send_tracked_safe(client, entry.pdu, entry)
             self._log("relay.recovered", replayed=replayed)
+            if self.obs is not None:
+                self.obs.event("nvm.replay", target=self.middlebox.name,
+                               count=replayed, reason="reconnect")
             return
         # recovery exhausted: tear the flow down toward the VM
         self._log("relay.gave-up", reconnects=pair.reconnects)

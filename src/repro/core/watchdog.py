@@ -62,6 +62,8 @@ class ChainWatchdog:
         self.default_policy = default_policy
         self.tenant_policies = dict(tenant_policies or {})
         self.event_log = event_log if event_log is not None else storm.event_log
+        #: observability bus inherited from the platform (None = off)
+        self.obs = getattr(storm, "obs", None)
         #: flow cookie -> the chain the tenant *wants* (first seen);
         #: StorMFlow holds lists and is unhashable, so key by cookie.
         self._desired: dict[str, list[MiddleBox]] = {}
@@ -86,6 +88,8 @@ class ChainWatchdog:
     # -- one probe round ----------------------------------------------------
 
     def tick(self) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter("watchdog.probes").inc()
         for flow in self._watched_flows():
             desired = self._desired.setdefault(
                 flow.cookie, list(flow.middleboxes)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.analysis.events import EventLog
+from repro.obs.eventlog import EventLog, make_event_log
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.sim import Simulator
@@ -99,7 +99,12 @@ class FaultInjector:
     def __init__(self, sim: Simulator, seed: int = 0, log: Optional[EventLog] = None):
         self.sim = sim
         self.rng = SeededRNG(seed, name="faults")
-        self.log = log if log is not None else EventLog()
+        self.log = log if log is not None else make_event_log()
+
+    @property
+    def events(self) -> EventLog:
+        """The injector's timeline (alias kept for analysis scripts)."""
+        return self.log
 
     def _record(self, kind: str, target: str, **detail) -> None:
         self.log.record(self.sim.now, kind, target, **detail)

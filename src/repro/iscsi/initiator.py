@@ -56,6 +56,7 @@ class IscsiSession:
         relogin_backoff: float = 0.05,
         login_timeout: float = 1.0,
         event_log=None,
+        obs=None,
     ):
         self.sim = sim
         self.socket = socket
@@ -69,6 +70,9 @@ class IscsiSession:
         self.relogin_backoff = relogin_backoff
         self.login_timeout = login_timeout
         self.event_log = event_log
+        #: observability bus; when set, every command runs under a span
+        #: whose context rides the PDU across the chain.  None = no-op.
+        self.obs = obs
         self.alive = True
         self._closed = False
         self._pending: dict[int, dict] = {}
@@ -92,11 +96,22 @@ class IscsiSession:
         if not self.alive:
             raise SessionDead(f"session to {self.target_iqn} is down")
         done = self.sim.event()
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.span(
+                f"iscsi.{command.op}",
+                target=self.target_iqn,
+                offset=command.offset,
+                length=command.length,
+            )
+            command.ctx = span.context()
         self._pending[command.task_tag] = {
             "event": done,
             "data": None,
             "op": command.op,
             "command": command,
+            "span": span,
         }
         try:
             self.socket.send(command, command.wire_size)
@@ -142,6 +157,9 @@ class IscsiSession:
                     self.reads_completed += 1
                 else:
                     self.writes_completed += 1
+                span = record["span"]
+                if span is not None:
+                    span.finish("ok" if pdu.status == "good" else "error")
                 if pdu.status == "good":
                     record["event"].succeed(record["data"])
                 else:
@@ -245,6 +263,9 @@ class IscsiSession:
         self.alive = False
         pending, self._pending = self._pending, {}
         for record in pending.values():
+            span = record.get("span")
+            if span is not None:
+                span.finish("lost")
             if not record["event"].triggered:
                 record["event"].fail(SessionDead("connection lost"))
 
@@ -281,6 +302,9 @@ class IscsiInitiator:
         self.max_relogins = max_relogins
         self.relogin_backoff = relogin_backoff
         self.event_log = event_log
+        #: observability bus, propagated to every session this factory
+        #: creates (set by ``repro.obs.instrument``); None = no tracing.
+        self.obs = None
         self.sessions: list[IscsiSession] = []
         #: Called with (target_iqn, local_port) on every successful login —
         #: the paper's modified Login Session code path.
@@ -307,13 +331,24 @@ class IscsiInitiator:
         )
         yield socket.connect(target_ip, target_port)
         login = LoginRequestPdu(self.initiator_iqn, target_iqn)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.span("iscsi.login", target=target_iqn)
+            login.ctx = span.context()
         socket.send(login, login.wire_size)
         got = yield socket.recv()
         if got is RESET or got is EOF:
+            if span is not None:
+                span.finish("lost")
             raise SessionDead("connection lost during login")
         response, _size = got
         if not isinstance(response, LoginResponsePdu) or response.status != "success":
+            if span is not None:
+                span.finish("rejected")
             raise LoginFailed(f"login to {target_iqn} failed: {response!r}")
+        if span is not None:
+            span.finish("ok")
         session = IscsiSession(
             self.sim,
             socket,
@@ -323,6 +358,7 @@ class IscsiInitiator:
             max_relogins=self.max_relogins,
             relogin_backoff=self.relogin_backoff,
             event_log=self.event_log,
+            obs=obs,
         )
         self.sessions.append(session)
         for hook in self.login_hooks:

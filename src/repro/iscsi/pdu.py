@@ -8,8 +8,8 @@ is what TCP charges for the transfer.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
 BHS_SIZE = 48
 ISCSI_PORT = 3260
@@ -30,6 +30,9 @@ def volume_iqn(volume_name: str) -> str:
 class LoginRequestPdu:
     initiator_iqn: str
     target_iqn: str
+    #: trace context (:class:`repro.obs.TraceContext`) — joins the wire
+    #: transfer of this PDU to a request's span tree; None when off
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
@@ -40,6 +43,7 @@ class LoginRequestPdu:
 class LoginResponsePdu:
     target_iqn: str
     status: str  # "success" | "target-not-found"
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
@@ -53,6 +57,7 @@ class ScsiCommandPdu:
     length: int
     task_tag: int
     data: Optional[bytes] = None  # immediate data for writes
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
@@ -67,6 +72,7 @@ class DataInPdu:
     #: volume byte offset the data came from — lets positional ciphers
     #: (CTR/keystream) decrypt read payloads without per-tag state
     offset: int = 0
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
@@ -77,6 +83,7 @@ class DataInPdu:
 class ScsiResponsePdu:
     task_tag: int
     status: str  # "good" | "error"
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:

@@ -64,6 +64,10 @@ class IscsiTarget:
             max_retransmits=max_retransmits,
         )
         self.io_errors = 0
+        #: observability bus hook (set by ``repro.obs.instrument``);
+        #: when non-None each command executes under a child span of the
+        #: initiator's context.  None = zero overhead.
+        self.obs = None
         #: Called with (initiator_iqn, target_iqn, remote_ip, remote_port)
         #: on every login — target-side half of connection attribution.
         self.login_hooks: list[Callable[[str, str, str, int], None]] = []
@@ -112,24 +116,48 @@ class IscsiTarget:
                 self.sim.process(self._execute(socket, volume, pdu))
 
     def _execute(self, socket: TcpSocket, volume: Volume, command: ScsiCommandPdu):
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.span(
+                "target.execute",
+                parent=command.ctx,
+                op=command.op,
+                length=command.length,
+            )
+            obs.metrics.counter(f"target.{command.op}", self.ip).inc()
         if self.cpu is not None:
             yield from self.cpu.consume(PER_IO_CPU + PER_BYTE_CPU * command.length)
         self.commands_served += 1
         try:
             if command.op == "write":
                 yield from volume.write(command.offset, command.length, command.data)
-                self._respond(socket, ScsiResponsePdu(command.task_tag, "good"))
+                response = ScsiResponsePdu(command.task_tag, "good")
+                if span is not None:
+                    response.ctx = span.context()
+                    span.finish("ok")
+                self._respond(socket, response)
                 return
             data = yield from volume.read(command.offset, command.length)
         except DiskIOError:
             # a medium error becomes a SCSI check condition, not a dead
             # target: the initiator fails that one command
             self.io_errors += 1
-            self._respond(socket, ScsiResponsePdu(command.task_tag, "io-error"))
+            response = ScsiResponsePdu(command.task_tag, "io-error")
+            if span is not None:
+                response.ctx = span.context()
+                span.finish("io-error")
+            self._respond(socket, response)
             return
         data_in = DataInPdu(command.task_tag, command.length, data, offset=command.offset)
+        response = ScsiResponsePdu(command.task_tag, "good")
+        if span is not None:
+            ctx = span.context()
+            data_in.ctx = ctx
+            response.ctx = ctx
+            span.finish("ok")
         self._respond(socket, data_in)
-        self._respond(socket, ScsiResponsePdu(command.task_tag, "good"))
+        self._respond(socket, response)
 
     @staticmethod
     def _respond(socket: TcpSocket, pdu) -> None:

@@ -80,6 +80,10 @@ class Link:
         #: link-down) before delivery.  ``None`` keeps the fast path
         #: branch-free beyond one identity check.
         self.faults = None
+        #: observability bus hook (same zero-cost-off pattern): when
+        #: non-None, per-packet transmit/drop counters are recorded.
+        self.obs = None
+        self.obs_name = f"{a.name}<->{b.name}"
         a.link = self
         b.link = self
         self._queues = {a: Store(sim), b: Store(sim)}
@@ -101,10 +105,17 @@ class Link:
         timeout = self.sim.timeout
         while True:
             packet: Packet = yield queue.get()
+            obs = self.obs
+            if obs is not None:
+                metrics = obs.metrics
+                metrics.counter("link.tx", self.obs_name).inc()
+                metrics.counter("link.tx_bytes", self.obs_name).inc(packet.size)
             faults = self.faults
             if faults is not None:
                 extra = faults.judge(packet)
                 if extra < 0.0:
+                    if obs is not None:
+                        obs.metrics.counter("link.drop", self.obs_name).inc()
                     # dropped — but the sender still pays the wire time
                     # (the loss happens at the far end of the pipe)
                     yield timeout(

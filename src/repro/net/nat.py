@@ -112,6 +112,10 @@ class NatTable:
         self.rules: list[NatRule] = []
         self.conntrack = ConnTrack()
         self._no_match: set[tuple] = set()
+        #: observability bus hook plus the owning node's name for
+        #: metric attribution; None = uninstrumented (no overhead).
+        self.obs = None
+        self.scope = ""
 
     def install(self, rule: NatRule) -> None:
         self.rules.append(rule)
@@ -146,6 +150,8 @@ class NatTable:
         if hit is not None:
             _direction, translation = hit
             self._apply(packet, translation)
+            if self.obs is not None:
+                self.obs.metrics.counter("nat.conntrack_hit", self.scope).inc()
             return True
         flow_key = (hook, five_tuple)
         if flow_key in self._no_match:
@@ -163,6 +169,8 @@ class NatTable:
             )
             self._apply(packet, translation)
             conntrack.record(five_tuple, packet.five_tuple)
+            if self.obs is not None:
+                self.obs.metrics.counter("nat.rule_match", self.scope).inc()
             return True
         self._no_match.add(flow_key)
         return False

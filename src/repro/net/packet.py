@@ -49,6 +49,10 @@ class Packet:
     #: Names of nodes traversed, appended by each hop (used by tests and
     #: the steering verifier to prove which middle-boxes saw the flow).
     trace: list[str] = field(default_factory=list)
+    #: Trace context (:class:`repro.obs.TraceContext`) propagated from
+    #: the message this packet carries — joins per-hop events to the
+    #: request's span tree.  None whenever instrumentation is off.
+    ctx: Any = field(default=None, repr=False, compare=False)
 
     @property
     def five_tuple(self) -> FiveTuple:
@@ -56,6 +60,9 @@ class Packet:
 
     def record_hop(self, node_name: str) -> None:
         self.trace.append(node_name)
+        ctx = self.ctx
+        if ctx is not None:
+            ctx.hop(node_name, self)
 
     def copy(self) -> "Packet":
         """Independent copy (fresh id, shared payload object, copied trace)."""

@@ -169,6 +169,9 @@ class Switch:
         self._port_names: dict[Interface, str] = {}  # reverse of ports
         self.controller: Optional[Callable[["Switch", Packet, str], None]] = None
         self.packets_switched = 0
+        #: observability bus hook; None keeps the pipeline branch-free
+        #: beyond one identity check per forwarding decision.
+        self.obs = None
 
     # -- wiring ------------------------------------------------------
 
@@ -221,6 +224,16 @@ class Switch:
 
     def _apply_pipeline(self, packet: Packet, in_port: str) -> None:
         rule = self.flow_table.lookup(packet, in_port)
+        obs = self.obs
+        if obs is not None:
+            if rule is None:
+                obs.metrics.counter("switch.l2", self.name).inc()
+            else:
+                obs.metrics.counter("switch.flow_hit", self.name).inc()
+                if packet.ctx is not None:
+                    packet.ctx.event(
+                        "switch.steer", target=self.name, cookie=rule.cookie
+                    )
         if rule is None:
             self._l2_forward(packet, in_port)
             return
@@ -231,6 +244,8 @@ class Switch:
                 self._output(packet, action.port)
                 return
             elif isinstance(action, Drop):
+                if obs is not None:
+                    obs.metrics.counter("switch.drop", self.name).inc()
                 return
             elif isinstance(action, ToController):
                 if self.controller is not None:

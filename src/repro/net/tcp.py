@@ -541,6 +541,13 @@ class TcpSocket:
             size=HEADER_BYTES + segment.length,
             payload=segment,
         )
+        # Trace-context propagation: a message object (e.g. an iSCSI
+        # PDU) stamped with a context spreads it to every packet that
+        # carries a piece of it, joining per-hop telemetry to the
+        # request's span tree.  Plain None copies when tracing is off.
+        message = segment.message
+        if message is not None:
+            packet.ctx = getattr(message, "ctx", None)
         self.stack.send_ip(packet)
 
 

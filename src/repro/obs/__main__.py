@@ -1,0 +1,19 @@
+"""CLI entry point: ``python -m repro.obs validate out.jsonl``."""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] != "validate":
+        print("usage: python -m repro.obs validate <trace.jsonl>", file=sys.stderr)
+        return 2
+    from repro.obs.validate import main as validate_main
+
+    return validate_main(argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

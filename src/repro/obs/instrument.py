@@ -1,0 +1,110 @@
+"""Wiring: attach one :class:`~repro.obs.bus.ObsBus` to a built plant.
+
+Every instrumented component carries an ``obs`` hook that defaults to
+``None`` (the same zero-overhead pattern as ``Link.faults`` /
+``Disk.fault_hook``); :func:`instrument` walks the topology once and
+points every hook at the bus.  Objects created *after* instrumentation
+(new gateways, relays, services, iSCSI sessions) are wired by their
+creators — the platform and initiator propagate their own ``obs``
+reference — so late provisioning does not escape the trace.
+
+Walking is duck-typed on the repo's own structure (switch ports,
+node interfaces, host initiator/target/disk), so the function works on
+a bare :class:`~repro.cloud.controller.CloudController` or a full
+StorM platform.
+"""
+
+from __future__ import annotations
+
+
+def _wire_link(bus, link, seen: set) -> int:
+    if link is None or id(link) in seen:
+        return 0
+    seen.add(id(link))
+    link.obs = bus
+    link.obs_name = f"{link.a.name}<->{link.b.name}"
+    return 1
+
+
+def _wire_node(bus, node, seen: set) -> int:
+    """Instrument a Node's NAT table and every link off its NICs."""
+    links = 0
+    nat = getattr(getattr(node, "stack", None), "nat", None)
+    if nat is not None:
+        nat.obs = bus
+        nat.scope = node.name
+    for iface in getattr(node, "interfaces", []):
+        links += _wire_link(bus, iface.link, seen)
+    return links
+
+
+def _wire_switch(bus, switch, seen: set) -> int:
+    switch.obs = bus
+    links = 0
+    for iface in switch.ports.values():
+        links += _wire_link(bus, iface.link, seen)
+    return links
+
+
+def wire_node(bus, node) -> None:
+    """Instrument one late-created node (gateway, middle-box): its NAT
+    table and the links off its NICs.  Used by the platform when it
+    provisions after :func:`instrument` has already run."""
+    _wire_node(bus, node, set())
+
+
+def instrument(bus, cloud=None, storm=None) -> dict:
+    """Point every ``obs`` hook in the plant at ``bus``.
+
+    Pass a ``storm`` platform (its cloud is implied) and/or a bare
+    ``cloud``.  Returns a count summary, mostly for tests.
+    """
+    if storm is not None and cloud is None:
+        cloud = storm.cloud
+    seen: set = set()
+    stats = {"switches": 0, "links": 0, "nodes": 0, "hosts": 0,
+             "relays": 0, "services": 0}
+
+    if cloud is not None:
+        for switch in (cloud.storage_switch, cloud.fabric):
+            stats["switches"] += 1
+            stats["links"] += _wire_switch(bus, switch, seen)
+        for host in cloud.compute_hosts.values():
+            stats["hosts"] += 1
+            stats["switches"] += 1
+            stats["links"] += _wire_switch(bus, host.ovs, seen)
+            stats["links"] += _wire_node(bus, host, seen)
+            initiator = getattr(host, "initiator", None)
+            if initiator is not None:
+                initiator.obs = bus
+                for session in getattr(initiator, "sessions", []):
+                    session.obs = bus
+        for host in cloud.storage_hosts.values():
+            stats["hosts"] += 1
+            stats["links"] += _wire_node(bus, host, seen)
+            target = getattr(host, "target", None)
+            if target is not None:
+                target.obs = bus
+            disk = getattr(host, "disk", None)
+            if disk is not None:
+                disk.obs = bus
+
+    if storm is not None:
+        storm.obs = bus
+        for pair in storm.gateway_pairs.values():
+            for gateway in (pair.ingress, pair.egress):
+                stats["nodes"] += 1
+                stats["links"] += _wire_node(bus, gateway, seen)
+        for mb in storm.middleboxes.values():
+            stats["nodes"] += 1
+            stats["links"] += _wire_node(bus, mb, seen)
+            relay = getattr(mb, "relay", None)
+            if relay is not None:
+                relay.obs = bus
+                stats["relays"] += 1
+            service = getattr(mb, "service", None)
+            if service is not None:
+                service.obs = bus
+                stats["services"] += 1
+
+    return stats

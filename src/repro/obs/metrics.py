@@ -1,0 +1,131 @@
+"""Counters, gauges, and histograms in a scoped registry.
+
+Metrics are keyed by ``(kind, name, scope)``: ``scope`` is the tenant
+name for tenant-attributed metrics (service byte counts, relay journal
+stats), or a component name (a link, a switch, a disk) for plant-level
+ones.  Everything is plain Python arithmetic — no simulation events,
+no RNG — so the registry can sit on the hot path behind a ``None``
+guard without perturbing determinism.
+
+``snapshot()`` renders the registry as schema records sorted by key,
+so two identical runs export byte-identical metric sections.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "scope", "value")
+
+    def __init__(self, name: str, scope: str):
+        self.name = name
+        self.scope = scope
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def record(self) -> dict:
+        return {"type": "counter", "name": self.name, "scope": self.scope,
+                "value": self.value}
+
+
+class Gauge:
+    """Last-written value (queue depths, journal sizes)."""
+
+    __slots__ = ("name", "scope", "value")
+
+    def __init__(self, name: str, scope: str):
+        self.name = name
+        self.scope = scope
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def record(self) -> dict:
+        return {"type": "gauge", "name": self.name, "scope": self.scope,
+                "value": self.value}
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max of observed values."""
+
+    __slots__ = ("name", "scope", "count", "total", "min", "max")
+
+    def __init__(self, name: str, scope: str):
+        self.name = name
+        self.scope = scope
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def record(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "scope": self.scope,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Lazy-created metrics, one instance per (kind, name, scope)."""
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, str, str], Metric] = {}
+
+    def counter(self, name: str, scope: str = "") -> Counter:
+        key = ("counter", name, scope)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, scope)
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, scope: str = "") -> Gauge:
+        key = ("gauge", name, scope)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(name, scope)
+        return metric  # type: ignore[return-value]
+
+    def histogram(self, name: str, scope: str = "") -> Histogram:
+        key = ("histogram", name, scope)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(name, scope)
+        return metric  # type: ignore[return-value]
+
+    def scoped(self, scope: str) -> list[Metric]:
+        """Every metric attributed to one scope (e.g. one tenant)."""
+        return [m for key, m in sorted(self._metrics.items()) if key[2] == scope]
+
+    def snapshot(self) -> list[dict]:
+        """Deterministically ordered schema records for export."""
+        return [self._metrics[key].record() for key in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,118 @@
+"""Schema validation for exported trace streams.
+
+The JSONL export is the interchange artifact (CI uploads it, the
+chrome converter reads the same records), so its shape is checked
+strictly: every line must be a JSON object with a known ``type`` and
+exactly the required keys for that type, with the right value types.
+``python -m repro.obs validate out.jsonl`` runs this from the CI
+workflow.
+"""
+
+from __future__ import annotations
+
+import json
+
+_NUMBER = (int, float)
+
+#: required keys and their accepted value types, per record type.
+#: ``None`` in a type tuple means JSON null is accepted.
+SCHEMAS: dict = {
+    "span": {
+        "seq": _NUMBER,
+        "ts": _NUMBER,
+        "trace": _NUMBER,
+        "span": _NUMBER,
+        "parent": (int, type(None)),
+        "name": (str,),
+        "start": _NUMBER,
+        "end": _NUMBER,
+        "status": (str,),
+        "attrs": (dict,),
+    },
+    "event": {
+        "seq": _NUMBER,
+        "ts": _NUMBER,
+        "kind": (str,),
+        "target": (str,),
+        "trace": (int, type(None)),
+        "span": (int, type(None)),
+        "attrs": (dict,),
+    },
+    "counter": {"name": (str,), "scope": (str,), "value": _NUMBER},
+    "gauge": {"name": (str,), "scope": (str,), "value": _NUMBER},
+    "histogram": {
+        "name": (str,),
+        "scope": (str,),
+        "count": (int,),
+        "sum": _NUMBER,
+        "min": _NUMBER,
+        "max": _NUMBER,
+    },
+}
+
+
+def validate_record(record, line_no: int = 0) -> list[str]:
+    """Problems with one decoded record ([] when valid)."""
+    where = f"line {line_no}: " if line_no else ""
+    if not isinstance(record, dict):
+        return [f"{where}not a JSON object"]
+    kind = record.get("type")
+    schema = SCHEMAS.get(kind)
+    if schema is None:
+        return [f"{where}unknown record type {kind!r}"]
+    problems = []
+    for key, types in schema.items():
+        if key not in record:
+            problems.append(f"{where}{kind} record missing key {key!r}")
+        elif not isinstance(record[key], types) or isinstance(record[key], bool):
+            problems.append(
+                f"{where}{kind} record key {key!r} has bad type "
+                f"{type(record[key]).__name__}"
+            )
+    extra = set(record) - set(schema) - {"type"}
+    if extra:
+        problems.append(f"{where}{kind} record has unknown keys {sorted(extra)}")
+    return problems
+
+
+def validate_lines(text: str) -> list[str]:
+    """Problems across a whole JSONL document ([] when valid)."""
+    problems = []
+    last_seq = 0
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {line_no}: invalid JSON ({exc.msg})")
+            continue
+        problems.extend(validate_record(record, line_no))
+        seq = record.get("seq") if isinstance(record, dict) else None
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(f"line {line_no}: seq {seq} not increasing")
+            last_seq = seq
+    return problems
+
+
+def validate_file(path: str) -> list[str]:
+    with open(path) as fh:
+        return validate_lines(fh.read())
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.obs validate")
+    parser.add_argument("path", help="JSONL trace export to check")
+    args = parser.parse_args(argv)
+    problems = validate_file(args.path)
+    if problems:
+        for problem in problems:
+            print(f"{args.path}: {problem}")
+        return 1
+    with open(args.path) as fh:
+        count = sum(1 for line in fh if line.strip())
+    print(f"{args.path}: {count} records, schema OK")
+    return 0

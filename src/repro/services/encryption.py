@@ -60,16 +60,28 @@ class EncryptionService(StorageService):
             return ctr_transform(self._aes, data, start_counter=offset // 16)
         return self._stream.transform(data, byte_offset=offset)
 
+    def _scope(self) -> str:
+        mb = self.middlebox
+        return mb.tenant.name if mb is not None else ""
+
     def transform_upstream(self, pdu):
         if isinstance(pdu, ScsiCommandPdu) and pdu.op == "write" and pdu.data is not None:
             pdu.data = self._transform(pdu.data, pdu.offset)
             self.bytes_encrypted += pdu.length
+            if self.obs is not None:
+                self.obs.metrics.counter("svc.encrypt_bytes", self._scope()).inc(
+                    pdu.length
+                )
         return pdu
 
     def transform_downstream(self, pdu):
         if isinstance(pdu, DataInPdu) and pdu.data is not None:
             pdu.data = self._transform(pdu.data, pdu.offset)
             self.bytes_decrypted += pdu.length
+            if self.obs is not None:
+                self.obs.metrics.counter("svc.decrypt_bytes", self._scope()).inc(
+                    pdu.length
+                )
         return pdu
 
     def encrypt_volume(self, volume) -> int:

@@ -99,5 +99,13 @@ class StorageAccessMonitor(StorageService):
                 if record.description.startswith(prefix):
                     alert = AccessAlert(prefix, record)
                     self.alerts.append(alert)
+                    if self.obs is not None:
+                        scope = (
+                            self.middlebox.tenant.name if self.middlebox else ""
+                        )
+                        self.obs.metrics.counter("svc.alerts", scope).inc()
+                        self.obs.event(
+                            "monitor.alert", target=prefix, op=record.op
+                        )
                     if callback is not None:
                         callback(alert)

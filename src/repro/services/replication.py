@@ -62,6 +62,10 @@ class ReplicationService(StorageService):
     def _log(self, kind: str, target: str, **detail) -> None:
         if self.event_log is not None:
             self.event_log.record(self.middlebox.sim.now, kind, target, **detail)
+        if self.obs is not None:
+            scope = self.middlebox.tenant.name if self.middlebox else ""
+            self.obs.metrics.counter(f"svc.{kind}", scope).inc()
+            self.obs.event(kind, target=target, **detail)
 
     # -- configuration -------------------------------------------------------
 

@@ -345,6 +345,45 @@ def test_tracked_bytecode_skips_non_repo(tmp_path):
     assert list(TrackedBytecodeRule().check_repo(str(tmp_path))) == []
 
 
+# ----------------------------------------------------------- direct-eventlog
+
+
+def test_direct_eventlog_hits(lint):
+    findings = lint(
+        """
+        from repro.analysis import EventLog
+        import repro.obs.eventlog as ev
+
+        log = EventLog()
+        other = ev.EventLog(bus=None)
+        """
+    )
+    assert len(hits(findings, "direct-eventlog")) == 2
+
+
+def test_direct_eventlog_allows_factory_and_obs_package(lint):
+    findings = lint(
+        """
+        from repro.obs import make_event_log
+
+        log = make_event_log()
+        """
+    )
+    assert not hits(findings, "direct-eventlog")
+    inside = lint(
+        "log = EventLog(bus=None)\n", path="src/repro/obs/eventlog.py"
+    )
+    assert not hits(inside, "direct-eventlog")
+
+
+def test_direct_eventlog_suppression(lint):
+    findings = lint(
+        "log = EventLog()  # stormlint: ignore[direct-eventlog]\n"
+    )
+    assert not hits(findings, "direct-eventlog")
+    assert len(suppressed(findings, "direct-eventlog")) == 1
+
+
 # ------------------------------------------------------------ registry meta
 
 

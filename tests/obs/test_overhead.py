@@ -1,0 +1,26 @@
+"""Instrumentation-off must be *free*: with every ``obs`` hook left at
+``None`` (the default), the kernel microbenchmark scenarios must
+reproduce the committed ``BENCH_kernel.json`` exactly — same event
+count and same simulated time per scenario.  A single extra scheduled
+event or a perturbed timestamp here means the observability layer is
+not passive."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.perf.scenarios import SCENARIOS
+
+BENCH = Path(__file__).resolve().parents[2] / "BENCH_kernel.json"
+RECORDED = json.loads(BENCH.read_text())["scenarios"]
+
+
+@pytest.mark.parametrize("name", sorted(RECORDED))
+def test_obs_off_matches_recorded_bench(name):
+    fn, _quick_kwargs = SCENARIOS[name]
+    result = fn()  # full size: the recording was made with quick=False
+    assert result["events"] == RECORDED[name]["events"]
+    assert result["sim_elapsed"] == RECORDED[name]["sim_elapsed"]
