@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cloud import CloudController
+from repro.cloud import CloudController, CloudParams
 from repro.core import StorM
 from repro.core.policy import ServiceSpec
 from repro.services import install_default_services
@@ -48,14 +48,21 @@ class Testbed:
     flow: object = None
 
 
-def build_testbed(mode: str, volume_size: int = VOLUME_SIZE, service_kind: str | None = None) -> Testbed:
+def build_testbed(
+    mode: str,
+    volume_size: int = VOLUME_SIZE,
+    service_kind: str | None = None,
+    express: bool = False,
+) -> Testbed:
     """Stand up the cloud and attach vol1 according to ``mode``.
 
     ``service_kind`` defaults to no processing for MB-FWD and the
-    paper's stream cipher for the relay modes.
+    paper's stream cipher for the relay modes.  ``express=True`` turns
+    on the flow-level fast path (application-level results must be
+    bit-identical to packet mode).
     """
     sim = Simulator()
-    cloud = CloudController(sim)
+    cloud = CloudController(sim, CloudParams(express=True) if express else None)
     for i in range(1, 6):
         cloud.add_compute_host(f"compute{i}")
     cloud.add_storage_host("storage1")
@@ -138,11 +145,12 @@ def fio_point(
     ios_per_thread: int = 60,
     seed: int = 42,
     seek_penalty: float | None = None,
+    express: bool = False,
 ):
     """One Fio measurement; ``seek_penalty`` overrides the disk's random
     penalty (``CACHED_SEEK`` models the target's page cache absorbing
     the working set, as in the paper's multi-thread experiments)."""
-    bed = build_testbed(mode)
+    bed = build_testbed(mode, express=express)
     if seek_penalty is not None:
         for storage_host in bed.cloud.storage_hosts.values():
             storage_host.disk.seek_penalty = seek_penalty

@@ -30,6 +30,13 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small sizes (CI smoke)")
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="run the *_express scenarios in packet mode (fast path off); "
+        "with --check-against, their simulated time must still match the "
+        "express recording — the equivalence proof from the other side",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument(
@@ -64,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_against is not None:
         reference = json.loads(args.check_against.read_text())
 
-    current = run_all(quick=args.quick)
+    current = run_all(quick=args.quick, exact=args.exact)
 
     if args.record_baseline:
         payload = {
@@ -92,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": args.quick,
+        "exact": args.exact,
         "scenarios": current,
     }
     if baseline is not None:
@@ -116,13 +124,36 @@ def main(argv: list[str] | None = None) -> int:
 
     if reference is not None:
         return check_against(
-            current, reference, args.check_against, args.quick, args.tolerance
+            current,
+            reference,
+            args.check_against,
+            args.quick,
+            args.tolerance,
+            exact=args.exact,
         )
     return 0
 
 
+#: application-level results that must be byte-identical between an
+#: ``X_express`` scenario and its packet-mode base scenario ``X``
+APP_FIELDS = (
+    "sim_elapsed",
+    "iops",
+    "mean_latency",
+    "p99_latency",
+    "completed",
+    "messages",
+    "sim_throughput_bps",
+)
+
+
 def check_against(
-    current: dict, reference: dict, ref_path: Path, quick: bool, tolerance: float
+    current: dict,
+    reference: dict,
+    ref_path: Path,
+    quick: bool,
+    tolerance: float,
+    exact: bool = False,
 ) -> int:
     """Compare ``current`` scenarios against a recorded report.
 
@@ -131,6 +162,13 @@ def check_against(
     timers, fault hooks) must be zero-overhead when switched off, which
     means the loss-free event stream is bit-identical to the recording.
     Wall-clock only has to stay within ``tolerance``.
+
+    The ``*_express`` scenarios additionally get an equivalence check:
+    every application-level metric must equal the packet-mode base
+    scenario's bit-for-bit.  Under ``--exact`` they ran in packet mode,
+    so their event counts and wall-clock are exempt from the recording
+    comparison — but their simulated time still has to match it, which
+    is the same equivalence proof approached from the other side.
     """
     if reference.get("quick") != quick:
         print(
@@ -144,17 +182,31 @@ def check_against(
         if got is None:
             failures.append(f"{name}: scenario missing from this run")
             continue
-        for field in ("events", "sim_elapsed"):
+        mode_differs = exact and name.endswith("_express")
+        fields = ("sim_elapsed",) if mode_differs else ("events", "sim_elapsed")
+        for field in fields:
             if got.get(field) != ref.get(field):
                 failures.append(
                     f"{name}: {field} diverged "
                     f"(ref={ref.get(field)!r}, got={got.get(field)!r})"
                 )
-        if got["wall_s"] > ref["wall_s"] * (1.0 + tolerance):
+        if not mode_differs and got["wall_s"] > ref["wall_s"] * (1.0 + tolerance):
             failures.append(
                 f"{name}: wall-clock regressed beyond {tolerance:.0%} "
                 f"(ref={ref['wall_s']:.3f}s, got={got['wall_s']:.3f}s)"
             )
+    for name, metrics in current.items():
+        if not name.endswith("_express"):
+            continue
+        base = current.get(name[: -len("_express")])
+        if base is None:
+            continue
+        for field in APP_FIELDS:
+            if field in base and metrics.get(field) != base.get(field):
+                failures.append(
+                    f"{name}: app-level {field} diverged from packet mode "
+                    f"(packet={base.get(field)!r}, express={metrics.get(field)!r})"
+                )
     if failures:
         print(f"check vs {ref_path} FAILED:")
         for failure in failures:
@@ -162,6 +214,7 @@ def check_against(
         return 1
     print(
         f"check vs {ref_path} OK: event streams identical, "
+        f"express==packet at the application level, "
         f"wall-clock within {tolerance:.0%}"
     )
     return 0

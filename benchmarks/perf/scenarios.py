@@ -17,7 +17,16 @@ from __future__ import annotations
 
 import time
 
-from repro.net import ArpTable, Interface, Link, Node, Switch, TcpListener, TcpSocket
+from repro.net import (
+    ArpTable,
+    ExpressManager,
+    Interface,
+    Link,
+    Node,
+    Switch,
+    TcpListener,
+    TcpSocket,
+)
 from repro.sim import Simulator, Store
 
 
@@ -81,9 +90,11 @@ def bench_store_pingpong(pairs: int = 40, items: int = 1500) -> dict:
     }
 
 
-def bench_tcp_transfer(messages: int = 250, size: int = 65536) -> dict:
+def bench_tcp_transfer(messages: int = 250, size: int = 65536, express: bool = False) -> dict:
     """Bulk TCP over the full net stack: link, switch, demux, windowing."""
     sim = Simulator()
+    if express:
+        ExpressManager(sim)  # must exist before links are built
     arp = ArpTable("bench")
     switch = Switch(sim, "sw")
 
@@ -118,7 +129,7 @@ def bench_tcp_transfer(messages: int = 250, size: int = 65536) -> dict:
     sim.run()
     wall = time.perf_counter() - start
     events = sim._sequence
-    return {
+    out = {
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
@@ -126,23 +137,30 @@ def bench_tcp_transfer(messages: int = 250, size: int = 65536) -> dict:
         "messages": len(received),
         "sim_throughput_bps": messages * size / sim.now if sim.now else 0.0,
     }
+    if sim.express is not None:
+        out["promotions"] = sim.express.promotions
+    return out
 
 
-def bench_fio_full(threads: int = 4, ios_per_thread: int = 150) -> dict:
+def bench_fio_full(
+    threads: int = 4, ios_per_thread: int = 150, express: bool = False
+) -> dict:
     """End-to-end MB-ACTIVE fio run — the paper-scenario hot path.
 
     This is the scenario the ISSUE's >= 1.5x wall-clock criterion is
     measured on; ``iops``/``mean_latency`` are simulated-time results
-    that must not move when the kernel gets faster.
+    that must not move when the kernel gets faster.  ``express=True``
+    runs the identical workload over the flow-level fast path: the
+    wall-clock drops, the simulated results must not move by one ULP.
     """
     from benchmarks.harness import MB_ACTIVE, build_testbed, fio
 
     start = time.perf_counter()
-    bed = build_testbed(MB_ACTIVE)
+    bed = build_testbed(MB_ACTIVE, express=express)
     result = fio(bed, 16 * 1024, threads=threads, ios_per_thread=ios_per_thread)
     wall = time.perf_counter() - start
     events = bed.sim._sequence
-    return {
+    out = {
         "wall_s": wall,
         "events": events,
         "events_per_s": events / wall if wall > 0 else 0.0,
@@ -152,6 +170,25 @@ def bench_fio_full(threads: int = 4, ios_per_thread: int = 150) -> dict:
         "p99_latency": result.latency.p(99),
         "completed": result.completed,
     }
+    if bed.sim.express is not None:
+        out["promotions"] = bed.sim.express.promotions
+    return out
+
+
+def bench_tcp_transfer_express(
+    messages: int = 250, size: int = 65536, express: bool = True
+) -> dict:
+    """``tcp_transfer`` with flows promoted to the express path."""
+    return bench_tcp_transfer(messages, size, express=express)
+
+
+def bench_fio_full_express(
+    threads: int = 4, ios_per_thread: int = 150, express: bool = True
+) -> dict:
+    """``fio_full`` with the express fast path on — the ISSUE 6 target
+    scenario: >= 10x wall-clock vs the seed kernel, simulated results
+    byte-identical to ``fio_full``."""
+    return bench_fio_full(threads, ios_per_thread, express=express)
 
 
 def bench_fio_legacy(threads: int = 1, ios_per_thread: int = 60) -> dict:
@@ -182,11 +219,22 @@ SCENARIOS = {
     "tcp_transfer": (bench_tcp_transfer, {"messages": 60, "size": 65536}),
     "fio_legacy": (bench_fio_legacy, {"threads": 1, "ios_per_thread": 20}),
     "fio_full": (bench_fio_full, {"threads": 2, "ios_per_thread": 40}),
+    "tcp_transfer_express": (
+        bench_tcp_transfer_express,
+        {"messages": 60, "size": 65536},
+    ),
+    "fio_full_express": (bench_fio_full_express, {"threads": 2, "ios_per_thread": 40}),
 }
 
 
-def run_all(quick: bool = False) -> dict:
+def run_all(quick: bool = False, exact: bool = False) -> dict:
+    """``exact=True`` forces the ``*_express`` scenarios back to packet
+    mode (the ``--exact`` CLI knob): same workloads, fast path off —
+    their simulated results must still match the express recording."""
     results = {}
     for name, (fn, quick_kwargs) in SCENARIOS.items():
-        results[name] = fn(**quick_kwargs) if quick else fn()
+        kwargs = dict(quick_kwargs) if quick else {}
+        if exact and name.endswith("_express"):
+            kwargs["express"] = False
+        results[name] = fn(**kwargs)
     return results

@@ -30,12 +30,21 @@ class CloudController:
     def __init__(self, sim: Simulator, params: Optional[CloudParams] = None):
         self.sim = sim
         self.params = params or CloudParams()
+        if self.params.express and sim.express is None:
+            # Must exist before any Link/stack is built: elements
+            # snapshot ``sim.express`` at construction to create their
+            # wire-occupancy commitment states.
+            from repro.net.express import ExpressManager
+
+            ExpressManager(sim)  # registers itself as sim.express
         self.addresses = AddressAllocator()
         self.storage_arp = ArpTable("storage-net")
         self.instance_arp = ArpTable("instance-net")
         self.storage_switch = Switch(sim, "storage-sw", forwarding_delay=self.params.switch_delay)
         self.fabric = Switch(sim, "fabric", forwarding_delay=self.params.switch_delay)
         self.sdn = SdnController()
+        if sim.express is not None:
+            self.sdn.express_notify = sim.express.demote_all
         self.sdn.register_switch(self.fabric)
         self.compute_hosts: dict[str, ComputeHost] = {}
         self.storage_hosts: dict[str, StorageHost] = {}

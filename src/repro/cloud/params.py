@@ -77,6 +77,13 @@ class CloudParams:
     #: cores the storage target's service threads effectively use
     storage_cpu_cores: int = 2
 
+    # -- express fast path ------------------------------------------------
+    #: simulate established flows analytically instead of per packet
+    #: (repro.net.express).  Off by default: packet mode is the exact
+    #: reference; express mode reproduces its application-level results
+    #: bit-for-bit at a fraction of the event count.
+    express: bool = False
+
     # -- subnets ----------------------------------------------------------
     storage_subnet: str = "10.0.0.0/24"
     tenant_subnet_template: str = "172.16.{tenant}.0/24"

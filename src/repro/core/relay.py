@@ -197,6 +197,7 @@ class ActiveRelay:
             rto=params.tcp_rto,
             max_retransmits=params.tcp_max_retransmits,
         )
+        self.listener.express_label = f"relay:{middlebox.name}"
         sim.process(self._accept_loop(), name=f"active-relay:{middlebox.name}")
 
     # -- connection handling ---------------------------------------------
@@ -210,7 +211,7 @@ class ActiveRelay:
 
     def _new_client_socket(self, server_sock: TcpSocket) -> TcpSocket:
         # pseudo-client: same source port so steering rules keep matching
-        return TcpSocket(
+        socket = TcpSocket(
             self.sim,
             self.middlebox.stack,
             local_ip=self.middlebox.ip,
@@ -221,6 +222,8 @@ class ActiveRelay:
             rto=self.params.tcp_rto,
             max_retransmits=self.params.tcp_max_retransmits,
         )
+        socket.express_label = f"relay:{self.middlebox.name}"
+        return socket
 
     def _log(self, kind: str, **detail) -> None:
         if self.event_log is not None:

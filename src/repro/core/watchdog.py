@@ -102,8 +102,16 @@ class ChainWatchdog:
             else:
                 self._apply_fail_open(flow, desired, dead)
 
+    def _demote_express(self, reason: str) -> None:
+        """Watchdog actions change the data path out from under any
+        promoted flow: force everything back to packet mode first."""
+        express = self.storm.sim.express
+        if express is not None:
+            express.demote_all(reason)
+
     def _apply_fail_closed(self, flow, dead) -> None:
         if dead and not flow.chain.quiesced:
+            self._demote_express("watchdog-quiesce")
             flow.chain.quiesce()
             self._record("watchdog.quiesce", flow, dead=[mb.name for mb in dead])
         elif not dead and flow.chain.quiesced:
@@ -121,6 +129,7 @@ class ChainWatchdog:
             if flow.chain.quiesced:  # partial recovery from a total outage
                 flow.chain.unquiesce()
                 self._record("watchdog.unquiesce", flow)
+            self._demote_express("watchdog-bypass")
             if resteer_flow(self.storm, flow, survivors):
                 self._bypassed.add(flow.cookie)
                 self._record(

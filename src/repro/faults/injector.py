@@ -109,6 +109,14 @@ class FaultInjector:
     def _record(self, kind: str, target: str, **detail) -> None:
         self.log.record(self.sim.now, kind, target, **detail)
 
+    def _demote_express(self, reason: str) -> None:
+        """Any injected fault may touch a promoted flow's links or
+        nodes: mandatory fallback to packet mode (lossless — the next
+        segments simply take the packet path, where the fault applies)."""
+        express = self.sim.express
+        if express is not None:
+            express.demote_all(reason)
+
     # -- scheduling -----------------------------------------------------
 
     def at(self, when: float, action: Callable, *args) -> None:
@@ -139,6 +147,7 @@ class FaultInjector:
         match: Optional[Callable[[Packet], bool]] = None,
     ) -> LinkFaults:
         """Make a link probabilistically drop/corrupt/delay packets."""
+        self._demote_express("lossy-link")
         faults = self._faults_for(link)
         faults.drop_prob = drop
         faults.corrupt_prob = corrupt
@@ -152,6 +161,7 @@ class FaultInjector:
 
     def drop_next(self, link: Link, count: int = 1) -> None:
         """Deterministically drop the next ``count`` matching packets."""
+        self._demote_express("drop-next")
         faults = self._faults_for(link)
         faults.drop_next_count += count
         self._record("fault.drop-next", faults.name, count=count)
@@ -159,6 +169,7 @@ class FaultInjector:
     def clear_link(self, link: Link) -> None:
         """Remove all fault state from a link (restores the fast path)."""
         if link.faults is not None:
+            self._demote_express("clear-link")
             self._record("fault.clear-link", link.faults.name)
             link.faults = None
 
@@ -167,12 +178,14 @@ class FaultInjector:
     def link_down(self, link: Link) -> None:
         faults = self._faults_for(link)
         if faults.up:
+            self._demote_express("link-down")
             faults.up = False
             self._record("fault.link-down", faults.name)
 
     def link_up(self, link: Link) -> None:
         faults = self._faults_for(link)
         if not faults.up:
+            self._demote_express("link-up")
             faults.up = True
             self._record("fault.link-up", faults.name)
 
@@ -208,6 +221,7 @@ class FaultInjector:
         """
         if node.crashed:
             return
+        self._demote_express("crash")
         node.crashed = True
         for socket in list(node.stack._sockets.values()):
             if silent:
@@ -228,6 +242,7 @@ class FaultInjector:
         """Re-plug a crashed node's interfaces and mark it healthy."""
         if not node.crashed:
             return
+        self._demote_express("restart")
         for iface in node.interfaces:
             saved = getattr(iface, "_saved_wiring", None)
             if saved is not None:

@@ -206,6 +206,7 @@ class IscsiSession:
                 rto=old.rto,
                 max_retransmits=old.max_retransmits,
             )
+            socket.express_label = old.express_label
             try:
                 established = socket.connect(self.target_ip, self.target_port)
                 yield self.sim.any_of(
@@ -329,6 +330,7 @@ class IscsiInitiator:
             rto=self.rto,
             max_retransmits=self.max_retransmits,
         )
+        socket.express_label = f"iscsi:{target_iqn}"
         yield socket.connect(target_ip, target_port)
         login = LoginRequestPdu(self.initiator_iqn, target_iqn)
         obs = self.obs

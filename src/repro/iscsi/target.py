@@ -63,6 +63,7 @@ class IscsiTarget:
             rto=rto,
             max_retransmits=max_retransmits,
         )
+        self.listener.express_label = f"target:{ip}"
         self.io_errors = 0
         #: observability bus hook (set by ``repro.obs.instrument``);
         #: when non-None each command executes under a child span of the

@@ -23,11 +23,13 @@ from repro.net.nat import ConnTrack, NatRule, NatTable
 from repro.net.stack import ArpTable, NetworkStack, Node
 from repro.net.tcp import TcpListener, TcpSegment, TcpSocket
 from repro.net.sdn import SdnController
+from repro.net.express import ExpressManager
 
 __all__ = [
     "ArpTable",
     "ConnTrack",
     "Drop",
+    "ExpressManager",
     "FiveTuple",
     "FlowRule",
     "FlowTable",

@@ -87,12 +87,35 @@ class Link:
         a.link = self
         b.link = self
         self._queues = {a: Store(sim), b: Store(sim)}
+        #: express-path commitment states, one per direction (see
+        #: :mod:`repro.net.express`); ``None`` when express mode is off,
+        #: keeping ``transmit``/``_pump`` branch-free beyond one check.
+        express = sim.express
+        self._xstates = (
+            {a: express.elem_state(), b: express.elem_state()}
+            if express is not None
+            else None
+        )
         sim.process(self._pump(a, b), name=f"link:{a.name}->{b.name}")
         sim.process(self._pump(b, a), name=f"link:{b.name}->{a.name}")
 
     def transmit(self, from_iface: Interface, packet: Packet) -> None:
         if from_iface not in self._queues:
             raise ValueError("interface not on this link")
+        xstates = self._xstates
+        if xstates is not None:
+            # Commit this direction's wire occupancy at true arrival
+            # time so express flows sharing the link interleave exactly;
+            # the pump aligns to the committed start (same float ops as
+            # its own serialization arithmetic).
+            state = xstates[from_iface]
+            now = self.sim.now
+            busy = state.busy
+            start = busy if busy > now else now
+            state.busy = start + (
+                packet.size / self.bandwidth + self.per_packet_overhead
+            )
+            state.pending.append(start)
         self._queues[from_iface].put(packet)
 
     def other_end(self, iface: Interface) -> Interface:
@@ -103,8 +126,17 @@ class Link:
         queue = self._queues[src]
         deliver = dst.deliver
         timeout = self.sim.timeout
+        xstate = None if self._xstates is None else self._xstates[src]
         while True:
             packet: Packet = yield queue.get()
+            if xstate is not None:
+                # Align to the start committed in transmit().  With no
+                # express claims interposed the committed start equals
+                # the pickup time exactly and this never fires; behind
+                # an express claim it waits out the claimed occupancy.
+                start = xstate.pending.popleft()
+                if start > self.sim.now:
+                    yield timeout(start - self.sim.now)
             obs = self.obs
             if obs is not None:
                 metrics = obs.metrics

@@ -11,7 +11,7 @@ property the paper's atomic volume-attach protocol depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.net.packet import FiveTuple, Packet
 
@@ -116,14 +116,22 @@ class NatTable:
         #: metric attribution; None = uninstrumented (no overhead).
         self.obs = None
         self.scope = ""
+        #: change notification registered by the express path when a
+        #: compiled flow depends on this chain (see repro.net.express);
+        #: any NAT table change must demote those flows to packet mode.
+        self._x_on_change: Optional[Callable[[], None]] = None
 
     def install(self, rule: NatRule) -> None:
         self.rules.append(rule)
         self._no_match.clear()
+        if self._x_on_change is not None:
+            self._x_on_change()
 
     def remove_by_cookie(self, cookie: str) -> int:
         before = len(self.rules)
         self.rules = [r for r in self.rules if r.cookie != cookie]
+        if self._x_on_change is not None:
+            self._x_on_change()
         return before - len(self.rules)
 
     def rules_for_cookie(self, cookie: str) -> list[NatRule]:

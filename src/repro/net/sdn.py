@@ -16,7 +16,7 @@ flow's entire rule state without enumerating generations.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.net.switch import FlowRule, Switch, cookie_in_family
 
@@ -28,6 +28,11 @@ class SdnController:
         self.name = name
         self._switches: dict[str, Switch] = {}
         self.installed_rules: list[tuple[str, FlowRule]] = []
+        #: express-path demotion hook (wired by the cloud controller
+        #: when express mode is on): called with a reason string on
+        #: every rule change, so promoted flows fall back to packet
+        #: mode before any new steering generation can take effect.
+        self.express_notify: Optional[Callable[[str], None]] = None
 
     def register_switch(self, switch: Switch) -> None:
         if switch.name in self._switches:
@@ -41,6 +46,8 @@ class SdnController:
             raise KeyError(f"unknown switch {name!r}; registered: {sorted(self._switches)}")
 
     def install_rule(self, switch_name: str, rule: FlowRule) -> None:
+        if self.express_notify is not None:
+            self.express_notify(f"sdn-install:{switch_name}")
         self.switch(switch_name).flow_table.install(rule)
         self.installed_rules.append((switch_name, rule))
 
@@ -53,6 +60,8 @@ class SdnController:
         (``cookie#…``); ``family=False`` matches exactly — used to
         retire a single steering generation.
         """
+        if self.express_notify is not None:
+            self.express_notify(f"sdn-remove:{cookie}")
         removed = 0
         targets = [self.switch(switch_name)] if switch_name else list(self._switches.values())
         for switch in targets:

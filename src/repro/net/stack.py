@@ -114,6 +114,15 @@ class NetworkStack:
         #: copies, service processing) and mutate the packet in place.
         self.forward_hook: Optional[Callable[[Packet], object]] = None
         self._forward_queue = None
+        #: Express-path hooks (:mod:`repro.net.express`): commitment
+        #: state for the forward pump (created with the queue), and a
+        #: change notification fired when routes change so compiled
+        #: flows demote.  Both stay None when express mode is off.
+        self._xfwd = None
+        self._x_on_change: Optional[Callable[[], None]] = None
+        #: Obs bus (wired by ``repro.obs.instrument``) — lets the TCP
+        #: hot path gate per-packet context copies on ``bus.enabled``.
+        self.obs_bus = None
 
     # -- configuration -------------------------------------------------
 
@@ -129,6 +138,8 @@ class NetworkStack:
         self.routes.append(Route(ipaddress.ip_network(cidr), iface, via))
         self.routes.sort(key=lambda r: -r.prefixlen)
         self._route_cache.clear()
+        if self._x_on_change is not None:
+            self._x_on_change()
 
     def local_ips(self) -> set[str]:
         self._local_ips = {i.ip for i in self.node.interfaces if i.ip is not None}
@@ -172,20 +183,38 @@ class NetworkStack:
             self._deliver_local(packet)
             return
         if self.ip_forward:
-            if self._forward_queue is None:
+            queue = self._forward_queue
+            if queue is None:
                 from repro.sim import Store
 
-                self._forward_queue = Store(self.sim)
+                queue = self._forward_queue = Store(self.sim)
+                express = self.sim.express
+                if express is not None:
+                    self._xfwd = express.elem_state()
                 self.sim.process(self._forward_pump(), name=f"fwd:{self.node.name}")
-            self._forward_queue.put(packet)
+            state = self._xfwd
+            if state is not None:
+                # Commit the forward pump's occupancy at arrival time
+                # (see Link.transmit for the discipline).
+                now = self.sim.now
+                busy = state.busy
+                start = busy if busy > now else now
+                state.busy = start + self.forward_delay
+                state.pending.append(start)
+            queue.put(packet)
             return
         self.dropped_packets += 1
 
     def _forward_pump(self):
         """FIFO software-forwarding path (single kernel thread, like the
         virtio/netfilter path the paper measures)."""
+        state = self._xfwd
         while True:
             packet = yield self._forward_queue.get()
+            if state is not None:
+                start = state.pending.popleft()
+                if start > self.sim.now:
+                    yield self.sim.timeout(start - self.sim.now)
             if self.forward_delay:
                 yield self.sim.timeout(self.forward_delay)
             if self.forward_hook is not None:

@@ -117,16 +117,24 @@ class FlowTable:
     def __init__(self):
         self.rules: list[FlowRule] = []
         self._decision_cache: dict[tuple, Optional[FlowRule]] = {}
+        #: change notification registered by the express path when a
+        #: compiled flow depends on this table (see repro.net.express);
+        #: any rule change must demote those flows back to packet mode.
+        self._x_on_change: Optional[Callable[[], None]] = None
 
     def install(self, rule: FlowRule) -> None:
         self.rules.append(rule)
         self.rules.sort(key=lambda r: -r.priority)
         self._decision_cache.clear()
+        if self._x_on_change is not None:
+            self._x_on_change()
 
     def remove_by_cookie(self, cookie: str, family: bool = False) -> int:
         before = len(self.rules)
         self.rules = [r for r in self.rules if not cookie_in_family(r.cookie, cookie, family)]
         self._decision_cache.clear()
+        if self._x_on_change is not None:
+            self._x_on_change()
         return before - len(self.rules)
 
     def lookup(self, packet: Packet, in_port: str) -> Optional[FlowRule]:

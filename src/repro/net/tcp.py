@@ -209,6 +209,9 @@ class TcpSocket:
             self._closing = True
             self._tx_queue.put(("close",))
             return
+        express = self.sim.express
+        if express is not None:
+            express.demote(self, "close")
         self._emit(TcpSegment(kind="fin"))
         self.state = "closed"
         self._deliver_sentinel(EOF)
@@ -223,6 +226,9 @@ class TcpSocket:
         self._enter_reset()
 
     def _enter_reset(self) -> None:
+        express = self.sim.express
+        if express is not None:
+            express.demote(self, "reset")
         self.state = "reset"
         # free the 4-tuple so a reconnection can bind it
         self.stack.unbind_socket(self)
@@ -315,6 +321,9 @@ class TcpSocket:
             yield waiter
             if self.state == "reset":
                 return
+        express = self.sim.express
+        if express is not None:
+            express.demote(self, "close")
         self._emit(TcpSegment(kind="fin"))
         self.state = "closed"
         self._deliver_sentinel(EOF)
@@ -473,6 +482,9 @@ class TcpSocket:
                     event = self._delivery_events.pop(message_id, None)
                     if event is not None and not event.triggered:
                         event.succeed()
+                express = self.sim.express
+                if express is not None and self._xpath is None:
+                    express.on_ack(self)
             elif self.reliable and self._retx_queue and segment.ack == self._acked_bytes:
                 self._dup_acks += 1
                 if self._dup_acks == 3:
@@ -527,6 +539,14 @@ class TcpSocket:
     #: set by TcpListener for server-side sockets
     _on_established: Optional[Callable[["TcpSocket"], None]] = None
 
+    #: express fast path (:mod:`repro.net.express`): the compiled
+    #: conduit while this flow is promoted (data/ack segments bypass
+    #: per-packet simulation), the clean-ACK count toward promotion,
+    #: and a human-readable label for flow.promote/demote obs events.
+    _xpath: Any = None
+    _x_acks: int = 0
+    express_label: str = ""
+
     # -- wire output ------------------------------------------------------------
 
     def _emit(self, segment: TcpSegment) -> None:
@@ -544,10 +564,21 @@ class TcpSocket:
         # Trace-context propagation: a message object (e.g. an iSCSI
         # PDU) stamped with a context spreads it to every packet that
         # carries a piece of it, joining per-hop telemetry to the
-        # request's span tree.  Plain None copies when tracing is off.
+        # request's span tree.  Contexts are only ever stamped while a
+        # bus is collecting, so the copy is gated on ``bus.enabled`` to
+        # keep obs-off runs free of per-packet attribute lookups.
         message = segment.message
         if message is not None:
-            packet.ctx = getattr(message, "ctx", None)
+            bus = self.stack.obs_bus
+            if bus is not None and bus.enabled:
+                packet.ctx = getattr(message, "ctx", None)
+        if self._xpath is not None and segment.kind in ("data", "ack"):
+            # Promoted flow: replay the compiled conduit analytically.
+            # SYN/FIN/RST stay on the packet path (and handshake/
+            # teardown segments are what change the state a compiled
+            # path depends on).
+            self.sim.express.send(self, packet)
+            return
         self.stack.send_ip(packet)
 
 
@@ -576,6 +607,8 @@ class TcpListener:
         self.rto = rto
         self.max_retransmits = max_retransmits
         self.accept_queue = Store(sim)
+        #: propagated to accepted sockets for express-flow obs labels
+        self.express_label = ""
         stack.bind_listener(self)
 
     def accept(self) -> Event:
@@ -599,6 +632,7 @@ class TcpListener:
             max_retransmits=self.max_retransmits,
         )
         socket.state = "syn-received"
+        socket.express_label = self.express_label
         socket._on_established = self.accept_queue.put
         self.stack.bind_socket(socket)
         socket._emit(TcpSegment(kind="syn-ack"))

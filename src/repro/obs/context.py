@@ -45,6 +45,8 @@ class TraceContext:
     def hop(self, node_name: str, packet) -> None:
         """Record this packet traversing ``node_name`` — the per-hop
         timestamps the latency-breakdown tables are built from."""
+        if not self.bus.enabled:
+            return  # skip the kwargs packing on collection-off buses
         self.bus.event("net.hop", target=node_name, trace_id=self.trace_id,
                        span_id=self.span_id, bytes=packet.size)
 

@@ -29,10 +29,13 @@ def _wire_link(bus, link, seen: set) -> int:
 def _wire_node(bus, node, seen: set) -> int:
     """Instrument a Node's NAT table and every link off its NICs."""
     links = 0
-    nat = getattr(getattr(node, "stack", None), "nat", None)
-    if nat is not None:
-        nat.obs = bus
-        nat.scope = node.name
+    stack = getattr(node, "stack", None)
+    if stack is not None:
+        # Gives the TCP hot path a cheap bus.enabled gate for its
+        # per-packet trace-context copies.
+        stack.obs_bus = bus
+        stack.nat.obs = bus
+        stack.nat.scope = node.name
     for iface in getattr(node, "interfaces", []):
         links += _wire_link(bus, iface.link, seen)
     return links
@@ -74,6 +77,9 @@ def instrument(bus, cloud=None, storm=None) -> dict:
             stats["switches"] += 1
             stats["links"] += _wire_switch(bus, host.ovs, seen)
             stats["links"] += _wire_node(bus, host, seen)
+            for vm in getattr(host, "vms", {}).values():
+                stats["nodes"] += 1
+                stats["links"] += _wire_node(bus, vm, seen)
             initiator = getattr(host, "initiator", None)
             if initiator is not None:
                 initiator.obs = bus
@@ -106,5 +112,13 @@ def instrument(bus, cloud=None, storm=None) -> dict:
             if service is not None:
                 service.obs = bus
                 stats["services"] += 1
+
+    sim = getattr(cloud, "sim", None) or getattr(storm, "sim", None)
+    express = sim.express if sim is not None else None
+    if express is not None:
+        # Paths compiled pre-instrumentation carry no counter plan:
+        # demote them so re-promotion recompiles with obs wired in.
+        express.demote_all("instrumented")
+        express.obs = bus
 
     return stats

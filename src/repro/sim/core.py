@@ -266,13 +266,17 @@ class Simulator:
     """The event loop: virtual clock, a deferred FIFO for same-time
     occurrences, and a time-ordered heap for true timeouts."""
 
-    __slots__ = ("now", "_heap", "_deferred", "_sequence")
+    __slots__ = ("now", "_heap", "_deferred", "_sequence", "express")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._deferred: deque[tuple[Any, ...]] = deque()
         self._sequence = 0
+        #: flow-level fast path (:class:`repro.net.express.ExpressManager`)
+        #: — installed before topology construction when express mode is
+        #: on; ``None`` keeps every hook in the packet path branch-free.
+        self.express: Any = None
 
     # -- scheduling --------------------------------------------------
 
@@ -293,6 +297,20 @@ class Simulator:
         seq = self._sequence
         self._sequence = seq + 1
         self._deferred.append((seq, _DEFERRED_INTERRUPT, process, cause))
+
+    def schedule_abs(self, when: float, event: Event) -> None:
+        """Schedule an already-valued event at the absolute time ``when``.
+
+        Used by the express fast path, which computes future occurrence
+        times analytically: pushing the absolute time directly avoids
+        the ``now + (when - now)`` float round-trip that a relative
+        timeout would introduce.  ``when`` must not precede ``now``.
+        """
+        if when < self.now:
+            raise SimulationError("schedule_abs into the past")
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._heap, (when, seq, event))
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.blockdev.disk import BLOCK_SIZE
-from repro.cloud import CloudController
+from repro.cloud import CloudController, CloudParams
 from repro.core import StorM, StorageService
 from repro.core.policy import ServiceSpec
 from repro.iscsi.pdu import DataInPdu, ScsiCommandPdu
@@ -34,9 +34,10 @@ class XorService(StorageService):
 class StormEnv:
     """A 4-compute/1-storage cloud with one tenant VM and volume."""
 
-    def __init__(self, volume_size=1024 * BLOCK_SIZE, transactional=False):
+    def __init__(self, volume_size=1024 * BLOCK_SIZE, transactional=False, express=False):
         self.sim = Simulator()
-        self.cloud = CloudController(self.sim)
+        params = CloudParams(express=True) if express else None
+        self.cloud = CloudController(self.sim, params)
         for i in range(1, 5):
             self.cloud.add_compute_host(f"compute{i}")
         self.storage = self.cloud.add_storage_host("storage1")

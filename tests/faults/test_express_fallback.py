@@ -1,0 +1,127 @@
+"""Express-path fault fallback: any fault-injector action must demote
+promoted flows losslessly — the workload finishes over the packet path
+(whose reliable-TCP recovery then does its usual job)."""
+
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.fs import ExtFilesystem, SessionDevice, fsck
+from repro.workloads import FioConfig, FioJob, PostmarkConfig, PostmarkJob
+
+from tests.faults.conftest import FaultEnv, recovery_params
+
+
+def express_env(**kw):
+    return FaultEnv(
+        params=recovery_params(express=True, tcp_rto=0.02, iscsi_relogin_backoff=0.02),
+        **kw,
+    )
+
+
+def _legacy_session(env):
+    def attach():
+        return (yield env.sim.process(env.cloud.attach_volume(env.vm, "vol1")))
+
+    return env.run(attach())
+
+
+def _when_promoted(env, action):
+    """Fire ``action`` the moment at least one flow is on the express
+    path, so the fault provably lands mid-express."""
+    fired = []
+
+    def watch():
+        manager = env.sim.express
+        while manager.active_flows == 0:
+            yield env.sim.timeout(0.0005)
+        action()
+        fired.append(env.sim.now)
+
+    env.sim.process(watch())
+    return fired
+
+
+def _run_fio(env, session, ios=40):
+    config = FioConfig(
+        io_size=BLOCK_SIZE, ios_per_thread=ios, region_size=1024 * BLOCK_SIZE
+    )
+    job = FioJob(env.sim, session, config, vm=env.vm, params=env.cloud.params)
+    return env.run(job.run())
+
+
+def test_drop_mid_express_demotes_and_completes():
+    env = express_env()
+    session = _legacy_session(env)
+    link = env.storage_link()
+    fired = _when_promoted(env, lambda: env.injector.drop_next(link, count=3))
+    result = _run_fio(env, session)
+    manager = env.sim.express
+    assert fired, "fault never fired: no flow was promoted"
+    assert manager.promotions >= 1
+    assert manager.demotions >= 1
+    assert result.completed == 40
+    assert result.errors == 0
+
+
+def test_link_flap_mid_express_demotes_and_completes():
+    env = express_env()
+    session = _legacy_session(env)
+    link = env.storage_link()
+
+    def flap():
+        env.injector.link_down(link)
+        env.injector.at(env.sim.now + 0.05, env.injector.link_up, link)
+
+    fired = _when_promoted(env, flap)
+    result = _run_fio(env, session)
+    manager = env.sim.express
+    assert fired, "fault never fired: no flow was promoted"
+    assert manager.demotions >= 1
+    assert result.completed == 40
+    assert result.errors == 0
+
+
+def test_crash_mid_express_recovers_fsck_clean():
+    """Target crash while the flow is express: demote, re-login over
+    the packet path, replay pending commands — and the filesystem on
+    the volume stays consistent."""
+    env = express_env(volume_size=8192 * BLOCK_SIZE)
+    session = _legacy_session(env)
+    device = SessionDevice(session, env.volume.size // BLOCK_SIZE)
+    ExtFilesystem.mkfs(env.volume)
+    fs = ExtFilesystem(env.sim, device)
+    env.run(fs.mount())
+    fired = _when_promoted(
+        env, lambda: env.injector.crash(env.storage, restart_after=0.2)
+    )
+    job = PostmarkJob(
+        env.sim,
+        fs,
+        PostmarkConfig(file_count=10, transactions=30),
+        vm=env.vm,
+        params=env.cloud.params,
+    )
+    result = env.run(job.run())
+    manager = env.sim.express
+    assert fired, "fault never fired: no flow was promoted"
+    assert manager.demotions >= 1
+    assert session.alive
+    assert result.creations > 0
+    report = fsck(env.volume)
+    assert report.clean, report.errors
+
+
+def test_lossy_window_mid_express_demotes_and_completes():
+    env = express_env()
+    session = _legacy_session(env)
+    link = env.storage_link()
+
+    def lossy():
+        env.injector.lossy_link(link, drop=0.2)
+        env.injector.at(env.sim.now + 0.05, env.injector.clear_link, link)
+
+    fired = _when_promoted(env, lossy)
+    result = _run_fio(env, session)
+    manager = env.sim.express
+    assert fired, "fault never fired: no flow was promoted"
+    assert manager.demotions >= 1
+    assert result.completed == 40
+    assert result.errors == 0

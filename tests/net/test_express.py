@@ -1,0 +1,171 @@
+"""Flow-level express path: promotion/demotion lifecycle.
+
+The equivalence guarantees (byte-identical application results under
+express) are covered by ``tests/determinism/test_express_matrix.py``;
+here we exercise the state machine itself: when flows promote, every
+trigger that must demote them, and the observability events.
+"""
+
+from repro.net import ExpressManager, FlowRule, NatRule, Output, TcpListener, TcpSocket
+from repro.sim import Simulator
+
+from tests.net.helpers import two_hosts_one_switch
+
+
+class RecordingObs:
+    """Minimal stand-in for the obs bus: records ``event()`` calls."""
+
+    def __init__(self):
+        self.events = []
+
+    def event(self, kind, target="", **attrs):
+        self.events.append((kind, target, attrs))
+
+
+def build(express=True):
+    sim = Simulator()
+    manager = ExpressManager(sim) if express else None
+    sim, _arp, switch, a, b = two_hosts_one_switch(sim)
+    listener = TcpListener(sim, b.stack, "10.0.0.2", 3260)
+    client = TcpSocket(sim, a.stack, "10.0.0.1", a.stack.allocate_port())
+    return sim, manager, switch, a, b, listener, client
+
+
+def transfer(sim, listener, client, n=8, collect=None):
+    received = [] if collect is None else collect
+
+    def server():
+        sock = yield listener.accept()
+        while True:
+            got = yield sock.recv()
+            if not isinstance(got, tuple):
+                return
+            received.append(got[0])
+
+    def run_client():
+        yield client.connect("10.0.0.2", 3260)
+        for i in range(n):
+            client.send({"n": i}, 20_000)
+
+    sim.process(server())
+    done = sim.process(run_client())
+    sim.run(until=done)
+    return received
+
+
+def test_promotion_after_clean_acks():
+    sim, manager, _switch, _a, _b, listener, client = build()
+    received = transfer(sim, listener, client)
+    sim.run()
+    assert [m["n"] for m in received] == list(range(8))
+    assert client._xpath is not None
+    assert manager.promotions >= 1
+    assert manager.active_flows >= 1
+    assert manager.probes_failed == 0
+
+
+def test_no_manager_means_no_promotion():
+    sim, manager, _switch, _a, _b, listener, client = build(express=False)
+    assert manager is None
+    transfer(sim, listener, client)
+    sim.run()
+    assert client._xpath is None
+    assert client._x_acks == 0  # on_ack hook never engaged
+
+
+def test_express_results_identical_to_packet_mode():
+    """Same topology, same workload: promoted express transfer must be
+    indistinguishable at the application layer, including sim time."""
+    outcomes = []
+    for express in (False, True):
+        sim, manager, _switch, _a, _b, listener, client = build(express)
+        received = transfer(sim, listener, client, n=12)
+        sim.run()
+        outcomes.append(([m["n"] for m in received], sim.now))
+        if express:
+            assert manager.promotions >= 1
+    assert outcomes[0] == outcomes[1]
+
+
+def _promote(sim, manager, listener, client):
+    """Drive traffic until the client socket is promoted."""
+    received = transfer(sim, listener, client)
+    sim.run()  # drain in-flight ACKs so the promotion probe fires
+    assert client._xpath is not None, "precondition: flow promoted"
+    return received
+
+
+def test_flow_rule_install_demotes():
+    sim, manager, switch, _a, _b, listener, client = build()
+    _promote(sim, manager, listener, client)
+    switch.flow_table.install(FlowRule(priority=1, actions=[Output("host-b")]))
+    assert client._xpath is None
+    assert manager.demotions >= 1
+    assert manager.active_flows == 0
+
+
+def test_route_change_demotes():
+    sim, manager, _switch, a, _b, listener, client = build()
+    _promote(sim, manager, listener, client)
+    a.stack.add_route("10.9.0.0/24", a.interfaces[0])
+    assert client._xpath is None
+    assert manager.demotions >= 1
+
+
+def test_nat_install_demotes_even_on_previously_empty_table():
+    """The probe registers the invalidation hook on every NAT table it
+    walked through, including tables that were empty at probe time."""
+    sim, manager, _switch, _a, b, listener, client = build()
+    _promote(sim, manager, listener, client)
+    b.stack.nat.install(NatRule(match_dst_port=3260, dnat_port=3261))
+    assert client._xpath is None
+    assert manager.demotions >= 1
+
+
+def test_close_demotes():
+    sim, manager, _switch, _a, _b, listener, client = build()
+    _promote(sim, manager, listener, client)
+
+    client.close()
+    sim.run()
+    assert client._xpath is None
+    assert manager.active_flows == 0
+
+
+def test_demoted_flow_keeps_working_and_repromotes():
+    sim, manager, _switch, _a, _b, listener, client = build()
+    received = []
+    transfer(sim, listener, client, n=8, collect=received)
+    sim.run()  # drain so the first promotion lands
+    assert client._xpath is not None
+    manager.demote_all("test")
+    assert client._xpath is None
+
+    def more():
+        for i in range(30):
+            client.send({"n": 100 + i}, 20_000)
+        yield sim.timeout(1.0)
+
+    sim.run(until=sim.process(more()))
+    got = [m["n"] for m in received]
+    assert got == list(range(8)) + [100 + i for i in range(30)]
+    # enough clean ACKs accumulated again after the demotion
+    assert manager.promotions >= 2
+    assert client._xpath is not None
+
+
+def test_obs_promote_and_demote_events():
+    sim, manager, _switch, _a, _b, listener, client = build()
+    obs = RecordingObs()
+    manager.obs = obs
+    client.express_label = "test-flow"
+    _promote(sim, manager, listener, client)
+    manager.demote(client, "unit-test")
+    kinds = [kind for kind, _target, _attrs in obs.events]
+    assert "flow.promote" in kinds
+    assert "flow.demote" in kinds
+    promote = next(e for e in obs.events if e[0] == "flow.promote")
+    assert promote[1] == "test-flow"
+    assert promote[2]["hops"] >= 1
+    demote = next(e for e in obs.events if e[0] == "flow.demote")
+    assert demote[2]["reason"] == "unit-test"
