@@ -111,6 +111,29 @@ class CloudController:
             latency=self.params.link_latency,
         )
 
+    def cable_control(
+        self,
+        a: Interface,
+        b: Interface,
+        bandwidth: Optional[float] = None,
+        latency: Optional[float] = None,
+    ) -> Link:
+        """Cable two control-plane NICs with a management-network link.
+
+        Used by :class:`repro.core.ha.HaCluster` for the replication
+        mesh between controller replicas; the link characteristics come
+        from ``control_link_*`` in :class:`CloudParams` unless the
+        caller overrides them.  These are real simulated links — fault
+        injection (partitions, flaps) applies to them like any other.
+        """
+        return Link(
+            self.sim,
+            a,
+            b,
+            bandwidth=bandwidth if bandwidth is not None else self.params.control_link_bandwidth,
+            latency=latency if latency is not None else self.params.control_link_latency,
+        )
+
     def iter_nat_tables(self):
         """Yield ``(host_name, NatTable)`` for every compute host — the
         places the attach protocol installs transient NAT rules, and

@@ -77,6 +77,13 @@ class CloudParams:
     #: cores the storage target's service threads effectively use
     storage_cpu_cores: int = 2
 
+    # -- replicated control plane (repro.core.ha) -------------------------
+    #: management-network links between controller replicas.  Slightly
+    #: slower than the data fabric: the paper's testbed runs control
+    #: traffic over the shared 1 GbE management ports.
+    control_link_bandwidth: float = 125_000_000.0
+    control_link_latency: float = 25e-6
+
     # -- express fast path ------------------------------------------------
     #: simulate established flows analytically instead of per packet
     #: (repro.net.express).  Off by default: packet mode is the exact

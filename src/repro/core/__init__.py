@@ -24,10 +24,12 @@ from repro.core.steering import SteeringChain, build_chain_rules
 from repro.core.semantics import AccessRecord, SemanticsEngine
 from repro.core.policy import ChainPolicy, PolicyError, ServiceSpec, TenantPolicy, parse_policy
 from repro.core.platform import StorM, StorMFlow
+from repro.core.ha import HaCluster, HaConfig, ReplicaLog
 from repro.core.saga import (
     ControlPlaneNode,
     ControllerCrashed,
     IntentLog,
+    QuorumLost,
     Saga,
     SagaStep,
 )
@@ -46,9 +48,13 @@ __all__ = [
     "ControllerCrashed",
     "Drift",
     "GatewayPair",
+    "HaCluster",
+    "HaConfig",
     "IntentLog",
     "MiddleboxAutoscaler",
+    "QuorumLost",
     "Reconciler",
+    "ReplicaLog",
     "Saga",
     "SagaStep",
     "ScalingEvent",

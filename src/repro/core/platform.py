@@ -89,6 +89,8 @@ class StorM:
         cloud: CloudController,
         transactional: bool = False,
         event_log: Optional[EventLog] = None,
+        ha: bool = False,
+        ha_config=None,
     ):
         self.sim = sim
         self.cloud = cloud
@@ -116,7 +118,21 @@ class StorM:
         #: around every step — the control-plane chaos matrix uses it to
         #: crash the controller at exact saga points.
         self.saga_probe: Optional[Callable[[Saga, SagaStep, str], None]] = None
-        if transactional:
+        #: replicated control plane (:mod:`repro.core.ha`); None keeps
+        #: the single-node (or non-transactional) platform bit-identical.
+        self.ha = None
+        if ha or ha_config is not None:
+            from repro.core.ha import HaCluster, HaConfig
+
+            self.transactional = True
+            self.intent_log = IntentLog()
+            self.ha = HaCluster(
+                self,
+                ha_config if ha_config is not None else HaConfig(),
+            )
+            self.intent_log.shipper = self.ha
+            self.controller = self.ha.leader_node
+        elif transactional:
             self.controller = ControlPlaneNode(sim)
             self.controller.on_restart = self.recover
             self.intent_log = IntentLog()
@@ -188,6 +204,13 @@ class StorM:
         return saga
 
     def _check_controller(self, saga: Saga, step_name: str = "") -> None:
+        if self.ha is not None:
+            # HA: an executor may only proceed while the leadership
+            # that began (or adopted) its saga still stands — a leader
+            # crash, step-down, or election revokes it mid-operation.
+            if not self.ha.has_authority(saga):
+                raise ControllerCrashed(saga.op, step_name)
+            return
         if self.controller is not None and self.controller.crashed:
             raise ControllerCrashed(saga.op, step_name)
 

@@ -35,6 +35,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.net.link import Interface
+from repro.net.packet import Packet
 from repro.net.stack import Node
 from repro.sim import Simulator
 
@@ -56,6 +58,14 @@ class ControllerCrashed(Exception):
         super().__init__(f"controller crashed during {op!r} (step {step or '<pre>'})")
         self.op = op
         self.step = step
+
+
+class QuorumLost(ControllerCrashed):
+    """The HA leader could not replicate a journal entry to a quorum
+    of control-plane replicas (or lost its leadership): the entry does
+    not commit and the saga is left in-flight for the next leader's
+    takeover.  A subclass of :class:`ControllerCrashed` so the saga
+    executors' crash handling applies unchanged."""
 
 
 @dataclass
@@ -108,9 +118,23 @@ class Saga:
         self.results: dict[str, Any] = {}
         #: shared mutable state the step closures read/write
         self.state: dict[str, Any] = {}
+        #: HA provenance (:mod:`repro.core.ha`): the leadership term
+        #: and leader node that began (or adopted) this saga.  Zero /
+        #: empty on the single-node platform.
+        self.term = 0
+        self.origin = ""
+        #: HA hook: when set, :meth:`mark` forwards every journal
+        #: entry through it (``shipper(saga, entry)``) so the entry is
+        #: quorum-replicated *before* the step it records executes.
+        #: The hook may raise :class:`QuorumLost`; the entry stays in
+        #: the local journal either way (append-then-ship — exactly
+        #: what compensation closures must tolerate).
+        self.shipper: Optional[Callable[["Saga", str], None]] = None
 
     def mark(self, entry: str) -> None:
         self.journal.append(entry)
+        if self.shipper is not None:
+            self.shipper(self, entry)
 
     def started(self, step_name: str) -> bool:
         return f"start:{step_name}" in self.journal
@@ -137,6 +161,13 @@ class IntentLog:
     def __init__(self) -> None:
         self.sagas: list[Saga] = []
         self._ids = itertools.count(1)
+        #: HA hook (:class:`repro.core.ha.HaCluster`): when set, every
+        #: new saga is quorum-replicated at creation (``ship_begin``)
+        #: and its journal entries ship through :attr:`Saga.shipper`.
+        self.shipper: Optional[Any] = None
+        #: sagas snapshotted away by :meth:`compact`, by final status
+        self.compacted_committed = 0
+        self.compacted_aborted = 0
 
     def begin(
         self,
@@ -147,6 +178,8 @@ class IntentLog:
     ) -> Saga:
         saga = Saga(next(self._ids), op, cookie, steps, detail)
         self.sagas.append(saga)
+        if self.shipper is not None:
+            self.shipper.ship_begin(saga)  # may raise QuorumLost
         return saga
 
     def incomplete(self) -> list[Saga]:
@@ -162,6 +195,29 @@ class IntentLog:
     def by_op(self, op: str) -> list[Saga]:
         return [s for s in self.sagas if s.op == op]
 
+    def compact(self) -> int:
+        """Snapshot resolved sagas out of the log, so crash replay
+        (:meth:`~repro.core.platform.StorM.recover` iterates
+        :meth:`incomplete`) and HA log-shipping catch-up stay
+        O(active sagas) instead of O(all history).  Only counters
+        remain for the dropped sagas; in-flight sagas — the only ones
+        recovery can act on — are untouched, so replay after
+        compaction resolves exactly what replay without it would."""
+        resolved = [s for s in self.sagas if not s.incomplete]
+        if not resolved:
+            return 0
+        for saga in resolved:
+            if saga.status == COMMITTED:
+                self.compacted_committed += 1
+            else:
+                self.compacted_aborted += 1
+        self.sagas = [s for s in self.sagas if s.incomplete]
+        return len(resolved)
+
+    @property
+    def compacted(self) -> int:
+        return self.compacted_committed + self.compacted_aborted
+
     def __len__(self) -> int:
         return len(self.sagas)
 
@@ -169,17 +225,38 @@ class IntentLog:
 class ControlPlaneNode(Node):
     """The StorM controller as a crashable node.
 
-    It has no NICs (the simulated control channel is direct method
-    calls), but being a :class:`~repro.net.stack.Node` means
+    On the single-node platform it has no NICs (the simulated control
+    channel is direct method calls), but being a
+    :class:`~repro.net.stack.Node` means
     :meth:`repro.faults.FaultInjector.crash` /
     :meth:`~repro.faults.FaultInjector.restart` treat it exactly like
     any other machine.  The saga executor checks :attr:`crashed` at
     every step boundary; the injector invokes :attr:`on_restart`
-    (wired to ``StorM.recover``) when the node comes back.
+    (wired to ``StorM.recover``, or to the HA cluster's rejoin) when
+    the node comes back.
+
+    With :mod:`repro.core.ha` the replicas additionally get real NICs
+    on real replication links; :attr:`on_message` intercepts their
+    election/heartbeat traffic before the TCP stack (which would drop
+    the non-TCP payloads).
     """
 
     def __init__(self, sim: Simulator, name: str = "storm-controller") -> None:
         super().__init__(sim, name)
         #: called by the fault injector after a restart re-plugs the
-        #: node; StorM points this at its crash-recovery routine.
+        #: node; StorM points this at its crash-recovery routine (the
+        #: HA cluster points it at the replica's rejoin handler).
         self.on_restart: Optional[Callable[[], Any]] = None
+        #: HA control-message handler; when set, every frame addressed
+        #: to this node's NICs is delivered here instead of the stack.
+        self.on_message: Optional[Callable[[Any], None]] = None
+
+    def receive(self, packet: Packet, iface: Interface) -> None:
+        handler = self.on_message
+        if handler is None:
+            super().receive(packet, iface)
+            return
+        if self.crashed or packet.dst_mac != iface.mac:
+            return
+        packet.record_hop(self.name)
+        handler(packet.payload)

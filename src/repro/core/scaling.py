@@ -27,7 +27,9 @@ from repro.core.policy import PolicyError, ServiceSpec
 @dataclass
 class ScalingEvent:
     when: float
-    action: str  # "grow" | "shrink" | "rebalance" | "evict" | "replace"
+    #: "grow" | "shrink" | "rebalance" | "evict" | "replace" |
+    #: "lend" | "restore"
+    action: str
     pool_size: int
     load_per_box: float
 
@@ -78,6 +80,10 @@ class MiddleboxAutoscaler:
         self._last_packet_count = 0
         self.stopped = False
         self.replacements = 0
+        #: boxes on loan to the :class:`~repro.core.watchdog.ChainWatchdog`
+        #: for full-strength chain healing (:meth:`borrow` / :meth:`restore`);
+        #: they count against ``max_size`` but carry none of the pool's flows.
+        self.lent: list[MiddleBox] = []
         #: optional :class:`repro.analysis.EventLog` for healing timelines
         self.event_log = None
 
@@ -106,6 +112,50 @@ class MiddleboxAutoscaler:
         self.events.append(
             ScalingEvent(self.storm.sim.now, "rebalance", len(self.pool), 0.0)
         )
+
+    # -- capacity lending (watchdog chain healing) -------------------------
+
+    def borrow(self) -> Optional[MiddleBox]:
+        """Lend one healthy forwarding box as replacement capacity.
+
+        Prefers spare pool capacity (a box beyond ``min_size``, whose
+        flows are first rebalanced off it); otherwise provisions a
+        clone if the pool plus outstanding loans is under ``max_size``.
+        Returns ``None`` when the tenant's capacity budget is
+        exhausted — the caller falls back to bypass/quiesce."""
+        sim = self.storm.sim
+        if len(self.pool) > self.min_size:
+            box = self.pool.pop()
+            if self.flows:
+                self._rebalance()  # steer pool flows off the loaned box
+        elif len(self.pool) + len(self.lent) < self.max_size:
+            box = self._provision_clone()
+        else:
+            return None
+        self.lent.append(box)
+        self.events.append(ScalingEvent(sim.now, "lend", len(self.pool), 0.0))
+        if self.event_log is not None:
+            self.event_log.record(sim.now, "pool.lend", box.name)
+        self._last_packet_count = self._pool_packets()
+        return box
+
+    def restore(self, box: MiddleBox) -> None:
+        """Take a loaned box back: rejoin the pool if it is healthy and
+        there is room, reclaim its VM otherwise."""
+        if box not in self.lent:
+            return
+        sim = self.storm.sim
+        self.lent.remove(box)
+        if not getattr(box, "crashed", False) and len(self.pool) < self.max_size:
+            self.pool.append(box)
+            if self.flows:
+                self._rebalance()
+        else:
+            self.storm.deprovision_middlebox(box)
+        self.events.append(ScalingEvent(sim.now, "restore", len(self.pool), 0.0))
+        if self.event_log is not None:
+            self.event_log.record(sim.now, "pool.restore", box.name)
+        self._last_packet_count = self._pool_packets()
 
     def assignments(self) -> dict[str, list[str]]:
         """mb name -> flow volume names (for tests/observability)."""

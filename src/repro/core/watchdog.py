@@ -3,12 +3,19 @@
 A middle-box VM that crashes mid-flow leaves the tenant with a hard
 choice the platform must make for them, per tenant policy:
 
-- **fail-open** — availability first: bypass the dead box by
-  re-steering the flow onto the surviving chain members
+- **fail-open** — availability first: *heal the chain at full
+  strength* by borrowing replacement capacity from a
+  :class:`~repro.core.scaling.MiddleboxAutoscaler` pool
+  (``capacity_pool=``) — each dead member is substituted by a
+  borrowed box and the flow re-steered onto the full-length chain, so
+  no service link is dropped under load.  Only when the pool is
+  exhausted (or no pool is wired) does the watchdog fall back to the
+  classic bypass: re-steer the flow onto the surviving chain members
   (make-before-break, via the same SDN-only path the autoscaler's
-  rebalance uses), and *reinstate* the original chain when the box
-  comes back.  Only valid for forwarding-mode chains: an active relay
-  holds per-flow TCP state that a bypass would corrupt.
+  rebalance uses).  Either way the original chain is *reinstated* —
+  and borrowed capacity returned — when the dead boxes come back.
+  Only valid for forwarding-mode chains: an active relay holds
+  per-flow TCP state that a bypass would corrupt.
 
 - **fail-closed** — the service is load-bearing (encryption,
   access control): *quiesce* the flow with high-priority drop rules
@@ -16,8 +23,9 @@ choice the platform must make for them, per tenant policy:
   let TCP retransmission resume the connection.
 
 Chains containing active relays are always fail-closed regardless of
-policy.  Every transition is recorded (``watchdog.bypass`` /
-``watchdog.reinstate`` / ``watchdog.quiesce`` / ``watchdog.unquiesce``)
+policy.  Every transition is recorded (``watchdog.borrow`` /
+``watchdog.heal`` / ``watchdog.bypass`` / ``watchdog.reinstate`` /
+``watchdog.restore`` / ``watchdog.quiesce`` / ``watchdog.unquiesce``)
 so chaos runs can narrate the failover timeline.
 """
 
@@ -52,6 +60,7 @@ class ChainWatchdog:
         default_policy: str = FAIL_OPEN,
         tenant_policies: Optional[dict[str, str]] = None,
         event_log=None,
+        capacity_pool=None,
     ):
         if default_policy not in (FAIL_OPEN, FAIL_CLOSED):
             raise ValueError(f"unknown watchdog policy {default_policy!r}")
@@ -64,11 +73,16 @@ class ChainWatchdog:
         self.event_log = event_log if event_log is not None else storm.event_log
         #: observability bus inherited from the platform (None = off)
         self.obs = getattr(storm, "obs", None)
+        #: :class:`~repro.core.scaling.MiddleboxAutoscaler` to borrow
+        #: replacement capacity from on fail-open (None = bypass only)
+        self.capacity_pool = capacity_pool
         #: flow cookie -> the chain the tenant *wants* (first seen);
         #: StorMFlow holds lists and is unhashable, so key by cookie.
         self._desired: dict[str, list[MiddleBox]] = {}
         #: flow cookies currently steered around dead members
         self._bypassed: set[str] = set()
+        #: flow cookie -> {dead member name: borrowed replacement}
+        self._borrowed: dict[str, dict[str, MiddleBox]] = {}
         self.stopped = False
 
     def _record(self, kind: str, flow, **detail) -> None:
@@ -118,36 +132,92 @@ class ChainWatchdog:
             flow.chain.unquiesce()
             self._record("watchdog.unquiesce", flow)
 
+    def _borrow_replacements(self, flow, dead, lent) -> list[MiddleBox]:
+        """Bring the flow's loan ledger up to date: pop entries that no
+        longer apply (the member recovered, or the replacement itself
+        died) and borrow a replacement for every dead member without
+        one.  Returns the popped boxes — the caller restores them to
+        the pool *after* re-steering the flow off them."""
+        returns: list[MiddleBox] = []
+        dead_names = {mb.name for mb in dead}
+        for name in [n for n in lent if n not in dead_names or not _mb_healthy(lent[n])]:
+            returns.append(lent.pop(name))
+        for mb in dead:
+            if mb.name in lent:
+                continue
+            replacement = self.capacity_pool.borrow()
+            if replacement is None:
+                break  # capacity budget exhausted: bypass what's left
+            lent[mb.name] = replacement
+            self._record(
+                "watchdog.borrow", flow, dead=mb.name, replacement=replacement.name
+            )
+        return returns
+
     def _apply_fail_open(self, flow, desired, dead) -> None:
         if dead:
-            survivors = [mb for mb in desired if _mb_healthy(mb)]
-            if not survivors:
-                # nothing left to steer through — last-resort quiesce
-                # rather than steering traffic at a dark MAC
+            returns: list[MiddleBox] = []
+            if self.capacity_pool is not None:
+                lent = self._borrowed.setdefault(flow.cookie, {})
+                returns = self._borrow_replacements(flow, dead, lent)
+            else:
+                lent = {}
+            # full-strength first: every desired member, substituting
+            # borrowed replacements for the dead; bypass is what's left
+            # when the pool couldn't cover someone
+            target = [
+                mb if _mb_healthy(mb) else lent.get(mb.name)
+                for mb in desired
+            ]
+            target = [mb for mb in target if mb is not None]
+            if not target:
+                # nothing to steer through — last-resort quiesce rather
+                # than steering traffic at a dark MAC; keep any popped
+                # loans on the ledger (they may still be in the rules)
+                for box in returns:
+                    lent[f"{box.name}"] = box
                 self._apply_fail_closed(flow, dead)
                 return
             if flow.chain.quiesced:  # partial recovery from a total outage
                 flow.chain.unquiesce()
                 self._record("watchdog.unquiesce", flow)
-            self._demote_express("watchdog-bypass")
-            if resteer_flow(self.storm, flow, survivors):
-                self._bypassed.add(flow.cookie)
-                self._record(
-                    "watchdog.bypass",
-                    flow,
-                    dead=[mb.name for mb in dead],
-                    chain=[mb.name for mb in survivors],
-                )
+            healed = all(mb.name in lent for mb in dead)
+            self._demote_express("watchdog-heal" if healed else "watchdog-bypass")
+            if resteer_flow(self.storm, flow, target):
+                if healed:
+                    self._record(
+                        "watchdog.heal",
+                        flow,
+                        dead=[mb.name for mb in dead],
+                        chain=[mb.name for mb in target],
+                    )
+                else:
+                    self._bypassed.add(flow.cookie)
+                    self._record(
+                        "watchdog.bypass",
+                        flow,
+                        dead=[mb.name for mb in dead],
+                        chain=[mb.name for mb in target],
+                    )
+            for box in returns:  # now off the flow's rules: safe to return
+                self._restore_box(flow, box)
         else:
             if flow.chain.quiesced:  # recovery from a total outage
                 flow.chain.unquiesce()
                 self._record("watchdog.unquiesce", flow)
-            if flow.cookie in self._bypassed:
+            lent = self._borrowed.pop(flow.cookie, None)
+            if lent or flow.cookie in self._bypassed:
                 if resteer_flow(self.storm, flow, desired):
                     self._record(
                         "watchdog.reinstate", flow, chain=[mb.name for mb in desired]
                     )
                 self._bypassed.discard(flow.cookie)
+                for name in lent or {}:
+                    self._restore_box(flow, lent[name])
+
+    def _restore_box(self, flow, box: MiddleBox) -> None:
+        self._record("watchdog.restore", flow, replacement=box.name)
+        self.capacity_pool.restore(box)
 
     # -- the loop -----------------------------------------------------------
 

@@ -207,6 +207,49 @@ class FaultInjector:
                 if iface.link is not None:
                     self.link_up(iface.link)
 
+    # -- control-plane faults (repro.core.ha clusters) ---------------------
+
+    def control_partition(self, cluster, *names) -> None:
+        """Partition the named control-plane replicas from the rest of
+        the cluster by downing their replication links.  ``names`` is
+        one side of the split (e.g. the minority); the same seeded
+        ``heal_partition``-style reversal is :meth:`heal_control_partition`.
+        """
+        nodes = [cluster.node(name) for name in names]
+        self._record("fault.control-partition", ",".join(names))
+        self.partition(*nodes)
+
+    def heal_control_partition(self, cluster, *names) -> None:
+        nodes = [cluster.node(name) for name in names]
+        self._record("fault.control-heal", ",".join(names))
+        self.heal_partition(*nodes)
+
+    def isolate_leader(self, cluster):
+        """Split-brain injection: cut the current leader's replication
+        links (the node itself stays up — it only loses its peers).
+        Returns the isolated node (None if the cluster is leaderless).
+        """
+        leader = cluster.leader_node
+        if leader is not None:
+            self.control_partition(cluster, leader.name)
+        return leader
+
+    def crash_leader(self, cluster, restart_after: Optional[float] = None,
+                     silent: bool = False):
+        """Crash whichever replica currently leads the cluster.
+        Returns the crashed node (None if leaderless)."""
+        leader = cluster.leader_node
+        if leader is not None:
+            self.crash(leader, restart_after=restart_after, silent=silent)
+        return leader
+
+    def lose_intent_log(self, cluster) -> None:
+        """Total intent-log loss across every replica (correlated
+        controller-fleet storage failure): the cluster must rebuild
+        its state from the switch tables."""
+        self._record("fault.log-loss", ",".join(n.name for n in cluster.nodes))
+        cluster.lose_intent_log()
+
     # -- node crash / restart ---------------------------------------------
 
     def crash(self, node, restart_after: Optional[float] = None, silent: bool = False):

@@ -97,6 +97,16 @@ def instrument(bus, cloud=None, storm=None) -> dict:
 
     if storm is not None:
         storm.obs = bus
+        ha = getattr(storm, "ha", None)
+        if ha is not None:
+            # replication mesh links + the election/term/quorum gauges
+            # (the cluster reads ``storm.obs`` dynamically; seed the
+            # gauges now so a trace exported before any failover still
+            # carries the cluster state)
+            for node in ha.nodes:
+                stats["nodes"] += 1
+                stats["links"] += _wire_node(bus, node, seen)
+            ha._update_gauges()
         for pair in storm.gateway_pairs.values():
             for gateway in (pair.ingress, pair.egress):
                 stats["nodes"] += 1

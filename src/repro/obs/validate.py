@@ -6,6 +6,13 @@ strictly: every line must be a JSON object with a known ``type`` and
 exactly the required keys for that type, with the right value types.
 ``python -m repro.obs validate out.jsonl`` runs this from the CI
 workflow.
+
+``--names`` additionally checks every span name, event kind, and
+metric name against the known instrumentation vocabulary
+(:data:`KNOWN_NAME_PREFIXES`) — opt-in, because tenant services and
+examples are free to invent names; the chaos CI jobs use it to catch
+vocabulary typos in the platform's own emitters (``ha.*`` failover
+records, ``saga.takeover`` spans, ``watchdog.*`` healing events...).
 """
 
 from __future__ import annotations
@@ -51,7 +58,60 @@ SCHEMAS: dict = {
 }
 
 
-def validate_record(record, line_no: int = 0) -> list[str]:
+#: the platform's instrumentation vocabulary, by record type.  Span
+#: names / event kinds / metric names must start with one of these in
+#: ``--names`` strict mode.  Keep sorted; a new subsystem registers
+#: its prefix here when its traces should pass chaos CI.
+KNOWN_NAME_PREFIXES: dict = {
+    "span": (
+        "iscsi.",
+        "saga.",  # saga.<op>, saga.takeover
+        "service.",
+        "target.",
+    ),
+    "event": (
+        "fault.",
+        "flow.",
+        "ha.",  # ha.elect / ha.leader / ha.catch-up / ha.takeover ...
+        "iscsi.",
+        "net.",
+        "nvm.",
+        "pool.",
+        "reconcile.",
+        "recover.",
+        "saga.",
+        "switch.",
+        "target.",
+        "watchdog.",
+    ),
+    # counters, gauges and histograms share one metric namespace
+    "metric": (
+        "disk.",
+        "ha.",  # ha.term / ha.leader / ha.quorum / ha.elections / ha.ship.*
+        "link.",
+        "nat.",
+        "reconcile.",
+        "relay.",
+        "svc.",
+        "switch.",
+        "target.",
+        "watchdog.",
+    ),
+}
+
+
+def _name_of(kind: str, record: dict):
+    """(vocabulary family, name) checked in --names mode, or None."""
+    if kind == "span":
+        return "span", record.get("name")
+    if kind == "event":
+        return "event", record.get("kind")
+    if kind in ("counter", "gauge", "histogram"):
+        return "metric", record.get("name")
+    return None
+
+
+def validate_record(record, line_no: int = 0, names: bool = False) -> list[str]:
     """Problems with one decoded record ([] when valid)."""
     where = f"line {line_no}: " if line_no else ""
     if not isinstance(record, dict):
@@ -72,10 +132,21 @@ def validate_record(record, line_no: int = 0) -> list[str]:
     extra = set(record) - set(schema) - {"type"}
     if extra:
         problems.append(f"{where}{kind} record has unknown keys {sorted(extra)}")
+    if names and not problems:
+        family_name = _name_of(kind, record)
+        if family_name is not None:
+            family, name = family_name
+            if isinstance(name, str) and not name.startswith(
+                KNOWN_NAME_PREFIXES[family]
+            ):
+                problems.append(
+                    f"{where}{kind} name {name!r} outside the known "
+                    f"{family} vocabulary"
+                )
     return problems
 
 
-def validate_lines(text: str) -> list[str]:
+def validate_lines(text: str, names: bool = False) -> list[str]:
     """Problems across a whole JSONL document ([] when valid)."""
     problems = []
     last_seq = 0
@@ -87,7 +158,7 @@ def validate_lines(text: str) -> list[str]:
         except json.JSONDecodeError as exc:
             problems.append(f"line {line_no}: invalid JSON ({exc.msg})")
             continue
-        problems.extend(validate_record(record, line_no))
+        problems.extend(validate_record(record, line_no, names=names))
         seq = record.get("seq") if isinstance(record, dict) else None
         if isinstance(seq, int):
             if seq <= last_seq:
@@ -96,9 +167,9 @@ def validate_lines(text: str) -> list[str]:
     return problems
 
 
-def validate_file(path: str) -> list[str]:
+def validate_file(path: str, names: bool = False) -> list[str]:
     with open(path) as fh:
-        return validate_lines(fh.read())
+        return validate_lines(fh.read(), names=names)
 
 
 def main(argv=None) -> int:
@@ -106,8 +177,13 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(prog="repro.obs validate")
     parser.add_argument("path", help="JSONL trace export to check")
+    parser.add_argument(
+        "--names",
+        action="store_true",
+        help="also check names against the known instrumentation vocabulary",
+    )
     args = parser.parse_args(argv)
-    problems = validate_file(args.path)
+    problems = validate_file(args.path, names=args.names)
     if problems:
         for problem in problems:
             print(f"{args.path}: {problem}")

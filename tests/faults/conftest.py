@@ -25,7 +25,8 @@ def recovery_params(**overrides) -> CloudParams:
 class FaultEnv:
     """A 4-compute/1-storage recoverable cloud with vm1/vol1 + injector."""
 
-    def __init__(self, seed=7, volume_size=1024 * BLOCK_SIZE, params=None, transactional=False):
+    def __init__(self, seed=7, volume_size=1024 * BLOCK_SIZE, params=None,
+                 transactional=False, ha=False, ha_config=None):
         self.sim = Simulator()
         self.params = params or recovery_params()
         self.cloud = CloudController(self.sim, self.params)
@@ -38,9 +39,11 @@ class FaultEnv:
         )
         self.volume = self.cloud.create_volume(self.tenant, "vol1", volume_size)
         self.log = EventLog()
+        journaled = transactional or ha or ha_config is not None
         self.storm = StorM(
             self.sim, self.cloud, transactional=transactional,
-            event_log=self.log if transactional else None,
+            event_log=self.log if journaled else None,
+            ha=ha, ha_config=ha_config,
         )
         install_default_services(self.storm)
         self.injector = FaultInjector(self.sim, seed=seed, log=self.log)
