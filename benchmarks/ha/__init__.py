@@ -1,0 +1,3 @@
+"""HA control-plane benchmarks: election downtime, saga takeover
+latency, and log-shipping lag percentiles — recorded to
+``BENCH_ha.json`` and pinned in CI with ``--check-against``."""

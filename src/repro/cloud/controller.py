@@ -37,6 +37,13 @@ class CloudController:
             from repro.net.express import ExpressManager
 
             ExpressManager(sim)  # registers itself as sim.express
+        #: end-to-end integrity layer (repro.integrity); None when off —
+        #: endpoints and relays carry a None hook and pay nothing.
+        self.integrity = None
+        if self.params.integrity:
+            from repro.integrity import IntegrityLayer
+
+            self.integrity = IntegrityLayer(sim, self.params)
         self.addresses = AddressAllocator()
         self.storage_arp = ArpTable("storage-net")
         self.instance_arp = ArpTable("instance-net")
@@ -78,6 +85,8 @@ class CloudController:
             latency=self.params.link_latency,
         )
         self.sdn.register_switch(host.ovs)
+        if self.integrity is not None:
+            host.initiator.integrity = self.integrity
         self.compute_hosts[name] = host
         return host
 
@@ -98,6 +107,8 @@ class CloudController:
             storage_arp=self.storage_arp,
         )
         self._cable_storage(host.storage_iface, name)
+        if self.integrity is not None:
+            host.target.integrity = self.integrity
         self.storage_hosts[name] = host
         return host
 

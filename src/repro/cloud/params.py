@@ -84,6 +84,24 @@ class CloudParams:
     control_link_bandwidth: float = 125_000_000.0
     control_link_latency: float = 25e-6
 
+    # -- end-to-end integrity (repro.integrity) ---------------------------
+    #: stamp every data PDU with a keyed MAC + traversal proof and
+    #: verify at the endpoints.  Off by default: none of the machinery
+    #: is constructed and runs are bit-identical to an integrity-less
+    #: build (BENCH_kernel.json).
+    integrity: bool = False
+    #: SCSI-level retries of a verified-corrupt command before the
+    #: session fails it with IntegrityError
+    integrity_max_retries: int = 2
+    #: receive-side sequence window for replay/reorder classification
+    integrity_replay_window: int = 4096
+    #: detections per flow within ``integrity_trip_window`` seconds that
+    #: trip the tamper breaker (ChainWatchdog then fails the flow closed)
+    integrity_trip_threshold: int = 3
+    integrity_trip_window: float = 1.0
+    #: how long a tripped flow stays quiesced after the last detection
+    integrity_trip_cooldown: float = 2.0
+
     # -- express fast path ------------------------------------------------
     #: simulate established flows analytically instead of per packet
     #: (repro.net.express).  Off by default: packet mode is the exact

@@ -42,6 +42,11 @@ class StorageService:
 
     name = "storage-service"
     cpu_per_byte: float = 0.0
+    #: True = this service rewrites PDU payloads in flight (ciphers).
+    #: The integrity layer then re-stamps the payload MAC under the
+    #: hop's key as the PDU leaves the middle-box, so endpoints verify
+    #: the transformed bytes instead of flagging a false tamper.
+    transforms_payload: bool = False
     #: True = the active relay must buffer a whole PDU before calling
     #: :meth:`process` (no cut-through), so the service can still drop
     #: it or answer with ``ctx.reply`` — needed by gatekeeping services

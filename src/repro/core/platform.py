@@ -137,6 +137,53 @@ class StorM:
             self.controller.on_restart = self.recover
             self.intent_log = IntentLog()
 
+    # -- end-to-end integrity ----------------------------------------------
+
+    @property
+    def integrity(self):
+        """The cloud's :class:`repro.integrity.IntegrityLayer` (None
+        when ``params.integrity`` is off)."""
+        return getattr(self.cloud, "integrity", None)
+
+    @staticmethod
+    def _integrity_hops(middleboxes: list[MiddleBox]) -> list[str]:
+        """Relay hops that stamp traversal marks, in upstream order.
+        FWD-mode boxes forward at IP level without touching PDUs, so
+        they cannot mark — the proof covers the intercepting hops."""
+        return [
+            mb.name
+            for mb in middleboxes
+            if mb.relay_mode in (RelayMode.PASSIVE, RelayMode.ACTIVE)
+        ]
+
+    def _flow_iqn(self, flow: StorMFlow) -> Optional[str]:
+        if flow.volume_name.startswith("objstore://"):
+            return None  # object flows carry no iSCSI stamps
+        try:
+            volume, _host = self.cloud.volume_location(flow.volume_name)
+        except KeyError:
+            return None  # volume already deleted (late detach)
+        return volume.iqn
+
+    def _register_flow_chain(self, flow: StorMFlow) -> None:
+        """Authorized registration of the chain the endpoints expect.
+        Called from attach/reconfigure sagas — the one path a tenant's
+        traversal expectations may legitimately change through."""
+        layer = self.integrity
+        if layer is None:
+            return
+        iqn = self._flow_iqn(flow)
+        if iqn is not None:
+            layer.register_chain(iqn, self._integrity_hops(flow.middleboxes))
+
+    def _unregister_flow_chain(self, flow: StorMFlow) -> None:
+        layer = self.integrity
+        if layer is None:
+            return
+        iqn = self._flow_iqn(flow)
+        if iqn is not None:
+            layer.unregister_chain(iqn)
+
     # -- registration ------------------------------------------------------
 
     def register_service(
@@ -423,6 +470,7 @@ class StorM:
         mb.install_service(self.service_factories[spec.kind](spec, self))
         if mb.relay_mode is RelayMode.PASSIVE:
             mb.relay = PassiveRelay(self.sim, mb, self.cloud.params)
+            mb.relay.integrity = self.integrity
         host.committed_vcpus += mb.vcpus
         host.committed_memory_mb += mb.memory_mb
         self.middleboxes[name] = mb
@@ -496,6 +544,7 @@ class StorM:
             egress_port=port,
             cookie=f"redirect:{mb.name}",
         )
+        mb.relay.integrity = self.integrity
         if self.obs is not None:
             mb.relay.obs = self.obs
 
@@ -614,6 +663,7 @@ class StorM:
                 attribution=state.get("attribution"),
             )
             self.flows.append(flow)
+            self._register_flow_chain(flow)
             if volume is not None:
                 for mb in middleboxes:
                     if mb.service is not None:
@@ -797,6 +847,7 @@ class StorM:
 
         def do_update():
             flow.middleboxes = list(middleboxes)
+            self._register_flow_chain(flow)
 
         saga = self._begin_saga(
             "reconfigure_chain",
@@ -832,6 +883,7 @@ class StorM:
                 self.flows.remove(flow)
             if not flow.detached:
                 flow.detached = True
+                self._unregister_flow_chain(flow)
                 for mb in flow.middleboxes:
                     if mb.service is not None:
                         mb.service.on_volume_detached(flow)

@@ -57,6 +57,12 @@ class PassiveRelay:
         self.packets_copied = 0
         #: observability bus hook; None = uninstrumented fast path
         self.obs = None
+        #: :class:`repro.integrity.IntegrityLayer` — when set, every
+        #: relayed PDU gets this hop's traversal mark.  None = off.
+        self.integrity = None
+        #: adversarial egress hook (repro.faults RelayAdversary): a
+        #: compromised middle-box mutating PDUs *after* stamping.
+        self.adversary = None
         middlebox.stack.forward_hook = self._hook
 
     def _hook(self, packet: Packet):
@@ -76,20 +82,30 @@ class PassiveRelay:
         # one syscall-and-copy per packet — the cost the paper measures
         yield from self.middlebox.cpu.consume(self.params.passive_copy_cost)
         service = self.middlebox.service
-        if service is None:
-            if span is not None:
-                span.finish()
-            return
-        cost = service.cpu_per_byte * segment.length
-        if cost:
-            yield from self.middlebox.cpu.consume(cost)
+        if service is not None:
+            cost = service.cpu_per_byte * segment.length
+            if cost:
+                yield from self.middlebox.cpu.consume(cost)
         if segment.is_last and segment.message is not None:
             direction = "upstream" if packet.dst_port == ISCSI_PORT else "downstream"
-            service.pdus_processed += 1
-            if direction == "upstream":
-                segment.message = service.transform_upstream(segment.message)
-            else:
-                segment.message = service.transform_downstream(segment.message)
+            if service is not None:
+                service.pdus_processed += 1
+                if direction == "upstream":
+                    segment.message = service.transform_upstream(segment.message)
+                else:
+                    segment.message = service.transform_downstream(segment.message)
+            if self.integrity is not None:
+                self.integrity.hop_process(
+                    segment.message,
+                    self.middlebox.name,
+                    transformed=service is not None and service.transforms_payload,
+                )
+            if self.adversary is not None:
+                out = self.adversary.on_egress(
+                    segment.message, direction, None, streamed=True
+                )
+                if out is not None:
+                    segment.message = out
         if span is not None:
             span.finish()
 
@@ -161,6 +177,15 @@ class ActiveRelay:
         #: observability bus hook: when set, relayed PDUs run under
         #: spans and NVM journal transitions emit events.  None = off.
         self.obs = None
+        #: :class:`repro.integrity.IntegrityLayer` — when set, every
+        #: forwarded PDU gets this hop's traversal mark stamped at
+        #: egress (crash replays re-send already-stamped journal
+        #: entries and are *not* re-marked).  None = off.
+        self.integrity = None
+        #: adversarial egress hook (repro.faults RelayAdversary),
+        #: applied after stamping: a compromised box tampering,
+        #: replaying, or holding PDUs it relays.  None = off.
+        self.adversary = None
         #: the NVM journal: PDUs received but not yet ACKed by next hop.
         #: For SCSI commands "ACKed" means *responded to* — a TCP ACK
         #: only proves the next hop's socket buffered the bytes, not
@@ -447,6 +472,7 @@ class ActiveRelay:
             # stream opened — keep the transformed PDU journaled; the
             # send fails quietly and recovery replays it
             transformed = self._transform_only(pdu, direction, service)
+            self._hop_stamp(transformed)
             entry.pdu = transformed
             self._track_command(entry)
             self._send_tracked_safe(self._dst_socket(pair, direction), transformed, entry)
@@ -464,26 +490,60 @@ class ActiveRelay:
             # the outgoing socket died mid-stream; journal the completed
             # PDU — recovery replays it on the fresh connection
             transformed = self._transform_only(pdu, direction, service)
+            self._hop_stamp(transformed)
             entry.pdu = transformed
             self._track_command(entry)
             self._send_tracked_safe(self._dst_socket(pair, direction), transformed, entry)
             return
+
+        def finish_streamed(out_pdu) -> None:
+            # stamp (and let the adversary tamper) at the moment the
+            # message object is attached to the already-credited stream
+            self._hop_stamp(out_pdu)
+            out = self._adversary_egress(
+                out_pdu, direction, self._dst_socket(pair, direction), streamed=True
+            )
+            handle.finish(out if out is not None else out_pdu)
+
         if service is not None:
             ctx = RelayContext(
                 direction=direction,
-                forward=lambda out_pdu: handle.finish(out_pdu),
+                forward=finish_streamed,
                 reply=self._reject_streamed_reply,
             )
             yield from service.process(pdu, direction, ctx, charged=True)
             if not handle.finished:
                 # service neither forwarded nor transformed: pass through
-                handle.finish(pdu)
+                finish_streamed(pdu)
         else:
-            handle.finish(pdu)
+            finish_streamed(pdu)
         # journal what actually went on the wire, so a replay after a
         # crash re-sends the transformed PDU
         entry.pdu = handle.message
         self._track_command(entry)
+
+    def _hop_stamp(self, pdu) -> None:
+        """Append this hop's traversal mark as the PDU leaves the box
+        (after any service transform, so a re-stamped payload MAC
+        covers what actually goes on the wire)."""
+        layer = self.integrity
+        if layer is not None:
+            service = self.middlebox.service
+            layer.hop_process(
+                pdu,
+                self.middlebox.name,
+                transformed=service is not None and service.transforms_payload,
+            )
+
+    def _adversary_egress(self, pdu, direction, socket, streamed: bool):
+        """A compromised middle-box's last word on an outgoing PDU:
+        returns the (possibly tampered copy of the) PDU to send, or
+        None when the adversary holds it for later re-injection
+        (whole-PDU path only — streamed bytes are already committed)."""
+        adversary = self.adversary
+        if adversary is None:
+            return pdu
+        return adversary.on_egress(pdu, direction, socket, streamed)
 
     @staticmethod
     def _transform_only(pdu, direction, service):
@@ -512,8 +572,16 @@ class ActiveRelay:
     def _make_context(self, entry: NvmEntry, pair: RelayPair, direction: str) -> RelayContext:
         def forward(out_pdu) -> None:
             ctx.consumed = True
-            entry.pdu = out_pdu
-            self._send_tracked_safe(self._dst_socket(pair, direction), out_pdu, entry)
+            self._hop_stamp(out_pdu)
+            dst = self._dst_socket(pair, direction)
+            out = self._adversary_egress(out_pdu, direction, dst, streamed=False)
+            if out is None:
+                # held by the adversary; the journal keeps the stamped
+                # PDU, and re-injection goes straight onto the socket
+                entry.pdu = out_pdu
+                return
+            entry.pdu = out
+            self._send_tracked_safe(dst, out, entry)
 
         def reply(out_pdu) -> None:
             ctx.consumed = True

@@ -24,6 +24,17 @@ from repro.fs.inode import MODE_DIR, MODE_FREE, unpack_indirect_block, unpack_in
 from repro.fs.layout import BLOCK_SIZE
 from repro.fs.view import BlockClass, FilesystemView
 
+#: cap on each side cache below: a hostile tenant spraying writes over
+#: never-classified blocks must not grow the engine without bound.
+#: Oldest-inserted entries are evicted first (dict order); an evicted
+#: block simply stays "unknown" if its metadata shows up much later.
+CACHE_CAP = 1024
+
+
+def _evict_oldest(cache: dict, cap: int = CACHE_CAP) -> None:
+    while len(cache) > cap:
+        del cache[next(iter(cache))]
+
 
 @dataclass
 class AccessRecord:
@@ -108,6 +119,7 @@ class SemanticsEngine:
             # might turn out to be a new directory/indirect/data block —
             # keep the payload for later reconciliation
             self._unclassified_writes[block_no] = data
+            _evict_oldest(self._unclassified_writes)
 
     def _all_dir_entries(self, dir_ino: int, written_block: int, data: bytes) -> list:
         """Entries of the whole directory, with one block's new content."""
@@ -126,6 +138,7 @@ class SemanticsEngine:
                 if cached is not None:
                     entries.extend(cached)
         self._dir_block_cache[written_block] = unpack_dirents(data, best_effort=True)
+        _evict_oldest(self._dir_block_cache)
         return entries
 
     def _apply_inode_table_write(self, block_no: int, data: bytes) -> None:
@@ -182,6 +195,7 @@ class SemanticsEngine:
             )
             if category == "unknown":
                 self._pending_records.setdefault(run_start, []).append(record)
+                _evict_oldest(self._pending_records)
             records.append(record)
             run_start = None
             run_key = None

@@ -27,6 +27,13 @@ policy.  Every transition is recorded (``watchdog.borrow`` /
 ``watchdog.heal`` / ``watchdog.bypass`` / ``watchdog.reinstate`` /
 ``watchdog.restore`` / ``watchdog.quiesce`` / ``watchdog.unquiesce``)
 so chaos runs can narrate the failover timeline.
+
+When the cloud runs with end-to-end integrity
+(``CloudParams.integrity``), the watchdog also consults the
+:class:`~repro.integrity.layer.TamperBreaker`: a flow whose breaker is
+tripped by a tamper burst is held *fail-closed* — quiesced regardless
+of tenant policy — until the breaker's cooldown expires
+(``watchdog.integrity-trip`` / ``watchdog.integrity-clear``).
 """
 
 from __future__ import annotations
@@ -81,6 +88,10 @@ class ChainWatchdog:
         self._desired: dict[str, list[MiddleBox]] = {}
         #: flow cookies currently steered around dead members
         self._bypassed: set[str] = set()
+        #: flow cookies quiesced by an integrity-breaker trip (kept
+        #: separate from the health quiesce so a clean probe round
+        #: cannot lift a tamper lockout early)
+        self._integrity_quiesced: set[str] = set()
         #: flow cookie -> {dead member name: borrowed replacement}
         self._borrowed: dict[str, dict[str, MiddleBox]] = {}
         self.stopped = False
@@ -108,6 +119,8 @@ class ChainWatchdog:
             desired = self._desired.setdefault(
                 flow.cookie, list(flow.middleboxes)
             )
+            if self._apply_integrity(flow):
+                continue  # tamper lockout overrides the health policy
             if not desired:
                 continue
             dead = [mb for mb in desired if not _mb_healthy(mb)]
@@ -122,6 +135,36 @@ class ChainWatchdog:
         express = self.storm.sim.express
         if express is not None:
             express.demote_all(reason)
+
+    def _apply_integrity(self, flow) -> bool:
+        """Hold the flow fail-closed while its tamper breaker is
+        tripped.  True = the lockout is active and normal policy is
+        suspended for this probe round; on expiry the cookie is cleared
+        and the regular policy path (which unquiesces a healthy chain)
+        takes over again."""
+        layer = getattr(self.storm, "integrity", None)
+        if layer is None:
+            return False
+        iqn = self.storm._flow_iqn(flow)
+        if iqn is None:
+            return False
+        if layer.tripped(iqn):
+            if flow.cookie not in self._integrity_quiesced:
+                self._integrity_quiesced.add(flow.cookie)
+                self._demote_express("integrity-trip")
+                if not flow.chain.quiesced:
+                    flow.chain.quiesce()
+                self._record("watchdog.integrity-trip", flow, iqn=iqn)
+            return True
+        if flow.cookie in self._integrity_quiesced:
+            self._integrity_quiesced.discard(flow.cookie)
+            self._record("watchdog.integrity-clear", flow)
+            # a chainless flow never reaches the policy paths below, so
+            # lift its quiesce here; chained flows unquiesce there
+            if not self._desired.get(flow.cookie) and flow.chain.quiesced:
+                flow.chain.unquiesce()
+                self._record("watchdog.unquiesce", flow)
+        return False
 
     def _apply_fail_closed(self, flow, dead) -> None:
         if dead and not flow.chain.quiesced:

@@ -7,8 +7,15 @@ or scheduled at an explicit simulated time, so a faulted run is a pure
 function of its seed: run-twice identical, bisectable, and comparable
 across code changes.  See DESIGN.md §8 for the fault model and the
 recovery invariants the test suite pins.
+
+Adversarial (hostile-tenant) actions ride the same injector: payload
+tamper, PDU replay/reorder through a compromised relay
+(:class:`repro.faults.injector.RelayAdversary`), unauthorized
+chain bypass, and a seeded fuzzer aimed at the semantic monitor —
+each recording ground truth so detection tests can assert exactness.
+See DESIGN.md §14 for the threat model.
 """
 
-from repro.faults.injector import FaultInjector, LinkFaults
+from repro.faults.injector import FaultInjector, LinkFaults, RelayAdversary
 
-__all__ = ["FaultInjector", "LinkFaults"]
+__all__ = ["FaultInjector", "LinkFaults", "RelayAdversary"]

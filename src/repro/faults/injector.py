@@ -19,11 +19,13 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Optional
 
 from repro.obs.eventlog import EventLog, make_event_log
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.net.tcp import ConnectionReset
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG
 
@@ -93,6 +95,102 @@ class LinkFaults:
         return 0.0
 
 
+class RelayAdversary:
+    """A compromised middle-box's egress hook (``relay.adversary``).
+
+    Armed by the injector with bounded counters, consumed in PDU
+    arrival order — the same run replays the same hostile schedule.
+    Every *executed* action records ground truth: a ``tamper.*`` entry
+    in the injector timeline plus a row in
+    :attr:`FaultInjector.adversarial` whose ``kind`` matches the
+    :class:`~repro.integrity.layer.Detection` kind the endpoint must
+    raise — so tests assert detected-set == injected-set exactly.
+    """
+
+    def __init__(self, injector: "FaultInjector", middlebox, rng: SeededRNG):
+        self.injector = injector
+        self.middlebox = middlebox
+        self.rng = rng
+        self.tamper_next = 0
+        self.replay_next = 0
+        self.reorder_next = 0
+        #: whole-PDU holds awaiting release on the next egress
+        self._held: list[tuple] = []
+        self.tampered = 0
+        self.replayed = 0
+        self.reordered = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def _truth(self, kind: str, event: str, pdu, **detail) -> None:
+        tag = getattr(pdu, "tag", None)
+        flow = getattr(tag, "flow", "") or self.middlebox.name
+        seq = getattr(tag, "seq", -1)
+        self.injector.adversarial.append(
+            {"kind": kind, "flow": flow, "seq": seq, "mb": self.middlebox.name}
+        )
+        self.injector._record(
+            f"tamper.{event}", flow, mb=self.middlebox.name, seq=seq, **detail
+        )
+
+    @staticmethod
+    def _send_quietly(socket, pdu) -> None:
+        try:
+            socket.send(pdu, pdu.wire_size)
+        except ConnectionReset:
+            pass
+
+    def _after_current(self, action: Callable[[], None]) -> None:
+        """Defer until after the relay's own send of the current PDU:
+        a 0-delay event fires once the current callback completes, so
+        injected PDUs land *behind* the triggering one in TCP order."""
+        self.injector.sim.timeout(0).callbacks.append(lambda _event: action())
+
+    # -- the egress hook (called by PassiveRelay / ActiveRelay) --------
+
+    def on_egress(self, pdu, direction: str, socket, streamed: bool):
+        """Returns the PDU to send (possibly mutated), or None to hold
+        it (whole-PDU active-relay path only)."""
+        if self._held and self.reorder_next == 0:
+            held, self._held = self._held, []
+
+            def release() -> None:
+                for held_pdu, held_socket in held:
+                    self._send_quietly(held_socket, held_pdu)
+
+            self._after_current(release)
+        if self.reorder_next > 0 and not streamed and socket is not None:
+            self.reorder_next -= 1
+            self.reordered += 1
+            self._held.append((pdu, socket))
+            self._truth("reorder", "reorder", pdu)
+            return None
+        if self.tamper_next > 0 and getattr(pdu, "data", None):
+            self.tamper_next -= 1
+            self.tampered += 1
+            data = pdu.data
+            index = self.rng.randint(0, len(data) - 1)
+            pdu.data = data[:index] + bytes([data[index] ^ 0xFF]) + data[index + 1 :]
+            self._truth("tamper", "payload", pdu, index=index)
+        if (
+            self.replay_next > 0
+            and socket is not None
+            and getattr(pdu, "tag", None) is not None
+        ):
+            self.replay_next -= 1
+            self.replayed += 1
+            dup = copy.copy(pdu)
+            self._truth("replay", "replay", pdu)
+            self._after_current(lambda: self._send_quietly(socket, dup))
+        return pdu
+
+    def flush_held(self) -> None:
+        """Release anything still held (ends a reorder experiment)."""
+        held, self._held = self._held, []
+        for held_pdu, held_socket in held:
+            self._send_quietly(held_socket, held_pdu)
+
+
 class FaultInjector:
     """Injects seeded/scheduled faults into a running simulation."""
 
@@ -100,6 +198,9 @@ class FaultInjector:
         self.sim = sim
         self.rng = SeededRNG(seed, name="faults")
         self.log = log if log is not None else make_event_log()
+        #: ground truth of executed adversarial actions, in order:
+        #: {"kind", "flow", "seq", "mb"} rows matching Detection kinds
+        self.adversarial: list[dict] = []
 
     @property
     def events(self) -> EventLog:
@@ -340,3 +441,122 @@ class FaultInjector:
     def clear_disk(self, disk) -> None:
         disk.fault_hook = None
         self._record("fault.clear-disk", disk.name)
+
+    # -- adversarial (hostile-tenant) actions ------------------------------
+
+    def _adversary_for(self, mb) -> RelayAdversary:
+        relay = getattr(mb, "relay", None)
+        if relay is None:
+            raise ValueError(
+                f"middle-box {mb.name} has no relay to compromise "
+                "(forwarding-mode boxes never touch PDUs)"
+            )
+        if relay.adversary is None:
+            relay.adversary = RelayAdversary(
+                self, mb, self.rng.child(f"adversary:{mb.name}")
+            )
+        return relay.adversary
+
+    @staticmethod
+    def _require_active_relay(mb, action: str) -> None:
+        # duck-typed (faults must not import repro.core): only the
+        # active relay owns sockets to inject cloned PDUs into
+        if not hasattr(mb.relay, "nvm"):
+            raise ValueError(f"{action} needs an active (redirect-mode) relay")
+
+    def tamper_payload(self, mb, count: int = 1) -> RelayAdversary:
+        """Compromise ``mb``: flip one seeded byte in the payload of
+        the next ``count`` data-bearing PDUs it relays, *after* hop
+        stamping — the endpoint's MAC check is what must catch it."""
+        self._demote_express("tamper")
+        adversary = self._adversary_for(mb)
+        adversary.tamper_next += count
+        self._record("fault.tamper-armed", mb.name, count=count)
+        return adversary
+
+    def replay_pdu(self, mb, count: int = 1) -> RelayAdversary:
+        """Compromise ``mb``: re-send a clone of the next ``count``
+        stamped PDUs right behind the originals (a replay attack; the
+        endpoint's sequence window must reject the duplicates)."""
+        self._demote_express("replay")
+        adversary = self._adversary_for(mb)
+        self._require_active_relay(mb, "replay")
+        adversary.replay_next += count
+        self._record("fault.replay-armed", mb.name, count=count)
+        return adversary
+
+    def reorder_pdus(self, mb, count: int = 1) -> RelayAdversary:
+        """Compromise ``mb``: hold the next ``count`` whole-PDU
+        commands it relays and release them behind the following PDU —
+        an in-flight reordering the endpoint's window must flag."""
+        self._demote_express("reorder")
+        adversary = self._adversary_for(mb)
+        self._require_active_relay(mb, "reorder")
+        adversary.reorder_next += count
+        self._record("fault.reorder-armed", mb.name, count=count)
+        return adversary
+
+    def chain_bypass(self, flow, mb) -> None:
+        """Maliciously reprogram the SDN rules so ``flow`` skips
+        ``mb``, *without* the control plane's authorized
+        re-registration (which attach/reconfigure perform).  The
+        endpoint's traversal proof must catch the missing hop mark."""
+        if mb not in flow.middleboxes:
+            raise ValueError(f"{mb.name} is not on {flow.cookie}")
+        if mb.relay is not None and hasattr(mb.relay, "nvm"):
+            raise ValueError(
+                "cannot bypass an active relay mid-flow (it owns TCP state)"
+            )
+        self._demote_express("chain-bypass")
+        remaining = [m for m in flow.middleboxes if m is not mb]
+        flow.chain.retire(flow.chain.stage(middleboxes=remaining))
+        self.adversarial.append(
+            {"kind": "chain-violation", "flow": self._flow_name(flow),
+             "seq": -1, "mb": mb.name}
+        )
+        self._record("tamper.bypass", flow.cookie, mb=mb.name)
+
+    @staticmethod
+    def _flow_name(flow) -> str:
+        """The name integrity detections key on: the volume IQN for
+        block flows, the raw flow name otherwise."""
+        name = flow.volume_name
+        if name.startswith("objstore://"):
+            return name
+        from repro.iscsi.pdu import volume_iqn
+
+        return volume_iqn(name)
+
+    def fuzz_semantic_monitor(
+        self, monitor, blocks: int = 64, base_offset: int = 0,
+        misaligned: int = 4,
+    ) -> int:
+        """Feed adversarial payloads straight through the monitor's
+        upstream transform — the bytes a compromised VM would write —
+        plus ``misaligned`` hostile-geometry accesses.  Returns PDUs
+        fed; the monitor must survive every one of them (no exception,
+        bounded state, still logging afterwards)."""
+        from repro.fs.layout import BLOCK_SIZE
+        from repro.iscsi.pdu import ScsiCommandPdu, next_task_tag
+        from repro.workloads.hostile import hostile_dirent_corpus
+
+        rng = self.rng.child("fuzz:monitor")
+        corpus = hostile_dirent_corpus(seed=rng.randint(0, 2**31 - 1), count=blocks)
+        fed = 0
+        for i, payload in enumerate(corpus):
+            pdu = ScsiCommandPdu(
+                "write", base_offset + i * BLOCK_SIZE, BLOCK_SIZE,
+                next_task_tag(), payload,
+            )
+            monitor.transform_upstream(pdu)
+            fed += 1
+        for _ in range(misaligned):
+            offset = base_offset + rng.randint(1, BLOCK_SIZE - 1)
+            pdu = ScsiCommandPdu(
+                "write", offset, BLOCK_SIZE, next_task_tag(),
+                rng.randbytes(BLOCK_SIZE),
+            )
+            monitor.transform_upstream(pdu)
+            fed += 1
+        self._record("tamper.fuzz", getattr(monitor, "name", "monitor"), pdus=fed)
+        return fed

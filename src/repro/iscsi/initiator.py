@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.integrity import IntegrityError
 from repro.iscsi.pdu import (
     DataInPdu,
     ISCSI_PORT,
@@ -57,6 +58,7 @@ class IscsiSession:
         login_timeout: float = 1.0,
         event_log=None,
         obs=None,
+        integrity=None,
     ):
         self.sim = sim
         self.socket = socket
@@ -73,6 +75,11 @@ class IscsiSession:
         #: observability bus; when set, every command runs under a span
         #: whose context rides the PDU across the chain.  None = no-op.
         self.obs = obs
+        #: :class:`repro.integrity.IntegrityLayer`; when set, commands
+        #: are stamped at issue, Data-In payloads verified on arrival,
+        #: and verified-corrupt commands retried with fresh stamps.
+        self.integrity = integrity
+        self.integrity_retries = 0
         self.alive = True
         self._closed = False
         self._pending: dict[int, dict] = {}
@@ -106,12 +113,20 @@ class IscsiSession:
                 length=command.length,
             )
             command.ctx = span.context()
+        if self.integrity is not None:
+            self.integrity.stamp(command, self.target_iqn, "upstream", "initiator")
         self._pending[command.task_tag] = {
             "event": done,
             "data": None,
             "op": command.op,
             "command": command,
             "span": span,
+            # retry material: services rebind pdu.data in flight on the
+            # same object this table aliases, so retries rebuild a fresh
+            # PDU from the payload as issued
+            "pristine": command.data,
+            "tainted": False,
+            "iretries": 0,
         }
         try:
             self.socket.send(command, command.wire_size)
@@ -148,10 +163,41 @@ class IscsiSession:
             if isinstance(pdu, DataInPdu):
                 record = self._pending.get(pdu.task_tag)
                 if record is not None:
+                    if self.integrity is not None:
+                        bad = self.integrity.verify(
+                            pdu, self.target_iqn, "downstream", where="initiator"
+                        )
+                        if bad is not None:
+                            # verified-corrupt read payload: taint the
+                            # command; the matching response triggers a
+                            # retry instead of delivering garbage
+                            record["tainted"] = True
+                            record["data"] = None
+                            continue
                     record["data"] = pdu.data
             elif isinstance(pdu, ScsiResponsePdu):
                 record = self._pending.pop(pdu.task_tag, None)
                 if record is None:
+                    continue
+                if self.integrity is not None and (
+                    pdu.status == "check-integrity"
+                    or (pdu.status == "good" and record["tainted"])
+                ):
+                    # SCSI check condition (target-side detection) or a
+                    # tainted read: re-drive the command end-to-end with
+                    # a fresh stamp, bounded by the layer's retry budget
+                    if record["iretries"] < self.integrity.max_retries:
+                        self._integrity_retry(record)
+                        continue
+                    span = record["span"]
+                    if span is not None:
+                        span.finish("integrity-failed")
+                    record["event"].fail(
+                        IntegrityError(
+                            f"{record['op']} to {self.target_iqn} still "
+                            f"corrupt after {record['iretries']} retries"
+                        )
+                    )
                     continue
                 if record["op"] == "read":
                     self.reads_completed += 1
@@ -164,6 +210,38 @@ class IscsiSession:
                     record["event"].succeed(record["data"])
                 else:
                     record["event"].fail(SessionDead(f"I/O error: {pdu.status}"))
+
+    def _integrity_retry(self, record: dict) -> None:
+        """Re-drive one verified-corrupt command: fresh PDU built from
+        the payload as issued (in-flight transforms rebind ``data`` on
+        the aliased object), fresh stamp (sequence numbers never
+        repeat, so the retry is not itself flagged as a replay), same
+        task tag (the pending table keeps matching)."""
+        old = record["command"]
+        data = record["pristine"] if old.op == "write" else None
+        command = ScsiCommandPdu(old.op, old.offset, old.length, old.task_tag, data)
+        command.ctx = old.ctx
+        self.integrity.stamp(command, self.target_iqn, "upstream", "initiator")
+        record["command"] = command
+        record["data"] = None
+        record["tainted"] = False
+        record["iretries"] += 1
+        self._pending[command.task_tag] = record
+        self.integrity_retries += 1
+        self.integrity.retries += 1
+        obs = self.integrity.obs
+        if obs is not None:
+            obs.event(
+                "integrity.retry", target=self.target_iqn,
+                op=old.op, offset=old.offset, attempt=record["iretries"],
+            )
+            obs.metrics.counter("integrity.retries", self.target_iqn).inc()
+        try:
+            self.socket.send(command, command.wire_size)
+        except ConnectionReset:
+            # the receiver loop sees the RESET and either replays the
+            # pending table on re-login or fails everything
+            pass
 
     # -- recovery --------------------------------------------------------
 
@@ -257,6 +335,20 @@ class IscsiSession:
         for record in self._pending.values():
             record["data"] = None
             command = record["command"]
+            if self.integrity is not None:
+                # rebuild from the pristine payload with a fresh stamp:
+                # the original PDU object may carry in-flight transforms
+                # and a consumed sequence number
+                data = record["pristine"] if command.op == "write" else None
+                fresh = ScsiCommandPdu(
+                    command.op, command.offset, command.length,
+                    command.task_tag, data,
+                )
+                fresh.ctx = command.ctx
+                self.integrity.stamp(fresh, self.target_iqn, "upstream", "initiator")
+                record["command"] = fresh
+                record["tainted"] = False
+                command = fresh
             self.commands_reissued += 1
             self.socket.send(command, command.wire_size)
 
@@ -306,6 +398,9 @@ class IscsiInitiator:
         #: observability bus, propagated to every session this factory
         #: creates (set by ``repro.obs.instrument``); None = no tracing.
         self.obs = None
+        #: integrity layer, propagated likewise (set by the cloud
+        #: controller when ``params.integrity``); None = no stamping.
+        self.integrity = None
         self.sessions: list[IscsiSession] = []
         #: Called with (target_iqn, local_port) on every successful login —
         #: the paper's modified Login Session code path.
@@ -361,6 +456,7 @@ class IscsiInitiator:
             relogin_backoff=self.relogin_backoff,
             event_log=self.event_log,
             obs=obs,
+            integrity=self.integrity,
         )
         self.sessions.append(session)
         for hook in self.login_hooks:

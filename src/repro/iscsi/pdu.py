@@ -58,10 +58,16 @@ class ScsiCommandPdu:
     task_tag: int
     data: Optional[bytes] = None  # immediate data for writes
     ctx: Any = field(default=None, repr=False, compare=False)
+    #: end-to-end integrity stamp (:class:`repro.integrity.IntegrityTag`)
+    #: riding the PDU as an AHS extension; None when integrity is off
+    tag: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
-        return BHS_SIZE + (self.length if self.op == "write" else 0)
+        size = BHS_SIZE + (self.length if self.op == "write" else 0)
+        if self.tag is not None:
+            size += self.tag.wire_size
+        return size
 
 
 @dataclass
@@ -73,16 +79,20 @@ class DataInPdu:
     #: (CTR/keystream) decrypt read payloads without per-tag state
     offset: int = 0
     ctx: Any = field(default=None, repr=False, compare=False)
+    tag: Any = field(default=None, repr=False, compare=False)
 
     @property
     def wire_size(self) -> int:
-        return BHS_SIZE + self.length
+        size = BHS_SIZE + self.length
+        if self.tag is not None:
+            size += self.tag.wire_size
+        return size
 
 
 @dataclass
 class ScsiResponsePdu:
     task_tag: int
-    status: str  # "good" | "error"
+    status: str  # "good" | "error" | "io-error" | "check-integrity"
     ctx: Any = field(default=None, repr=False, compare=False)
 
     @property

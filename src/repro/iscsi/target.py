@@ -65,6 +65,13 @@ class IscsiTarget:
         )
         self.listener.express_label = f"target:{ip}"
         self.io_errors = 0
+        #: :class:`repro.integrity.IntegrityLayer` (set by the cloud
+        #: controller when ``params.integrity``): commands are verified
+        #: before execution — a violation answers "check-integrity"
+        #: instead of touching the volume — and Data-In PDUs are
+        #: stamped for the return path.  None = zero overhead.
+        self.integrity = None
+        self.integrity_rejections = 0
         #: observability bus hook (set by ``repro.obs.instrument``);
         #: when non-None each command executes under a child span of the
         #: initiator's context.  None = zero overhead.
@@ -117,6 +124,18 @@ class IscsiTarget:
                 self.sim.process(self._execute(socket, volume, pdu))
 
     def _execute(self, socket: TcpSocket, volume: Volume, command: ScsiCommandPdu):
+        if self.integrity is not None:
+            bad = self.integrity.verify(
+                command, volume.iqn, "upstream", where="target"
+            )
+            if bad is not None:
+                # SCSI check condition: the command never touches the
+                # volume; the initiator retries it with a fresh stamp
+                self.integrity_rejections += 1
+                response = ScsiResponsePdu(command.task_tag, "check-integrity")
+                response.ctx = command.ctx
+                self._respond(socket, response)
+                return
         obs = self.obs
         span = None
         if obs is not None:
@@ -151,6 +170,8 @@ class IscsiTarget:
             self._respond(socket, response)
             return
         data_in = DataInPdu(command.task_tag, command.length, data, offset=command.offset)
+        if self.integrity is not None:
+            self.integrity.stamp(data_in, volume.iqn, "downstream", "target")
         response = ScsiResponsePdu(command.task_tag, "good")
         if span is not None:
             ctx = span.context()

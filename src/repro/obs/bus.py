@@ -81,13 +81,15 @@ class Span:
 class ObsBus:
     """Per-simulator trace/metrics bus with pluggable sinks."""
 
-    def __init__(self, sim, enabled: bool = True):
+    def __init__(self, sim, enabled: bool = True, keep_samples: bool = False):
         self.sim = sim
         self.enabled = enabled
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._seq = itertools.count(1)
-        self.metrics = MetricsRegistry()
+        #: keep_samples: histograms retain raw samples for percentile
+        #: reads (benchmark harnesses); default stays streaming-only
+        self.metrics = MetricsRegistry(keep_samples=keep_samples)
         #: default store every record lands in; exports read from it
         self.collector = CollectorSink()
         self.sinks: list = [self.collector]

@@ -69,6 +69,9 @@ def instrument(bus, cloud=None, storm=None) -> dict:
              "relays": 0, "services": 0}
 
     if cloud is not None:
+        integrity = getattr(cloud, "integrity", None)
+        if integrity is not None:
+            integrity.obs = bus
         for switch in (cloud.storage_switch, cloud.fabric):
             stats["switches"] += 1
             stats["links"] += _wire_switch(bus, switch, seen)

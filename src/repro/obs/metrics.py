@@ -53,17 +53,22 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count / sum / min / max of observed values."""
+    """Streaming summary: count / sum / min / max of observed values.
 
-    __slots__ = ("name", "scope", "count", "total", "min", "max")
+    With ``keep_samples`` (opt-in, for benchmark harnesses that need
+    percentiles) every observed value is also retained, at O(n) memory
+    — the default streaming mode stays O(1)."""
 
-    def __init__(self, name: str, scope: str):
+    __slots__ = ("name", "scope", "count", "total", "min", "max", "samples")
+
+    def __init__(self, name: str, scope: str, keep_samples: bool = False):
         self.name = name
         self.scope = scope
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: Union[list, None] = [] if keep_samples else None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -72,10 +77,21 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.samples is not None:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over retained samples (0 when the
+        histogram is empty or was created without ``keep_samples``)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, int(p / 100.0 * len(ordered))))
+        return ordered[rank]
 
     def record(self) -> dict:
         return {
@@ -93,10 +109,14 @@ Metric = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Lazy-created metrics, one instance per (kind, name, scope)."""
+    """Lazy-created metrics, one instance per (kind, name, scope).
 
-    def __init__(self):
+    ``keep_samples`` makes every histogram retain raw samples so
+    benchmark harnesses can read percentiles; off by default."""
+
+    def __init__(self, keep_samples: bool = False):
         self._metrics: dict[tuple[str, str, str], Metric] = {}
+        self.keep_samples = keep_samples
 
     def counter(self, name: str, scope: str = "") -> Counter:
         key = ("counter", name, scope)
@@ -116,7 +136,9 @@ class MetricsRegistry:
         key = ("histogram", name, scope)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = self._metrics[key] = Histogram(name, scope)
+            metric = self._metrics[key] = Histogram(
+                name, scope, keep_samples=self.keep_samples
+            )
         return metric  # type: ignore[return-value]
 
     def scoped(self, scope: str) -> list[Metric]:

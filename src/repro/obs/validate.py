@@ -65,6 +65,7 @@ SCHEMAS: dict = {
 KNOWN_NAME_PREFIXES: dict = {
     "span": (
         "iscsi.",
+        "relay.",  # relay.fwd / relay.passive / relay.active
         "saga.",  # saga.<op>, saga.takeover
         "service.",
         "target.",
@@ -73,7 +74,9 @@ KNOWN_NAME_PREFIXES: dict = {
         "fault.",
         "flow.",
         "ha.",  # ha.elect / ha.leader / ha.catch-up / ha.takeover ...
+        "integrity.",  # integrity.tamper / .replay / .trip / .retry ...
         "iscsi.",
+        "monitor.",  # monitor.alert
         "net.",
         "nvm.",
         "pool.",
@@ -81,6 +84,7 @@ KNOWN_NAME_PREFIXES: dict = {
         "recover.",
         "saga.",
         "switch.",
+        "tamper.",  # adversarial ground truth (fault injector)
         "target.",
         "watchdog.",
     ),
@@ -88,6 +92,7 @@ KNOWN_NAME_PREFIXES: dict = {
     "metric": (
         "disk.",
         "ha.",  # ha.term / ha.leader / ha.quorum / ha.elections / ha.ship.*
+        "integrity.",  # integrity.detections / integrity.<kind> / .retries
         "link.",
         "nat.",
         "reconcile.",

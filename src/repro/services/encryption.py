@@ -30,6 +30,9 @@ class EncryptionService(StorageService):
     """On-the-fly encryption/decryption in a middle-box."""
 
     name = "encryption"
+    #: payloads are rewritten in flight: the integrity layer re-stamps
+    #: the payload MAC under this hop's key (encrypted-chain mode)
+    transforms_payload = True
 
     def __init__(
         self,

@@ -47,6 +47,9 @@ class StorageAccessMonitor(StorageService):
         self.engine: Optional[SemanticsEngine] = None
         self._watches: list[tuple[str, Optional[Callable[[AccessAlert], None]]]] = []
         self.alerts: list[AccessAlert] = []
+        #: accesses with hostile geometry (misaligned offset/length)
+        #: the engine refused — counted, never fatal
+        self.garbage_accesses = 0
 
     # -- platform hook: receive the initial view at attach time -----------
 
@@ -83,13 +86,23 @@ class StorageAccessMonitor(StorageService):
 
     def transform_upstream(self, pdu):
         if isinstance(pdu, ScsiCommandPdu) and self.engine is not None:
-            records = self.engine.observe(
-                pdu.op,
-                pdu.offset,
-                pdu.length,
-                pdu.data if pdu.op == "write" else None,
-                when=self.middlebox.sim.now if self.middlebox else 0.0,
-            )
+            try:
+                records = self.engine.observe(
+                    pdu.op,
+                    pdu.offset,
+                    pdu.length,
+                    pdu.data if pdu.op == "write" else None,
+                    when=self.middlebox.sim.now if self.middlebox else 0.0,
+                )
+            except ValueError:
+                # hostile geometry (misaligned offset/length): a
+                # compromised VM must not be able to take the monitor
+                # down — count it and keep the datapath flowing
+                self.garbage_accesses += 1
+                if self.obs is not None:
+                    scope = self.middlebox.tenant.name if self.middlebox else ""
+                    self.obs.metrics.counter("svc.garbage_accesses", scope).inc()
+                return pdu
             self._analyse(records)
         return pdu
 

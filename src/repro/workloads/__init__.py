@@ -8,11 +8,14 @@
 - :mod:`repro.workloads.oltp` — Sysbench-style OLTP against a
   MySQL-like page store (§V-B3, Figs. 12/13);
 - :mod:`repro.workloads.malware` — the Ganiw.a backdoor installation
-  trace of Table III.
+  trace of Table III;
+- :mod:`repro.workloads.hostile` — adversarial bytes aimed at the
+  semantic monitor's reconstruction (fuzz corpus + workload driver).
 """
 
 from repro.workloads.fio import FioConfig, FioJob, FioResult
 from repro.workloads.ftp import FtpResult, FtpTransfer
+from repro.workloads.hostile import HostileWorkload, hostile_block, hostile_dirent_corpus
 from repro.workloads.postmark import PostmarkConfig, PostmarkJob, PostmarkResult
 from repro.workloads.oltp import MySqlServer, OltpClient, OltpConfig
 from repro.workloads.malware import GANIW_STEPS, run_ganiw_install, setup_system_image
@@ -24,12 +27,15 @@ __all__ = [
     "FtpResult",
     "FtpTransfer",
     "GANIW_STEPS",
+    "HostileWorkload",
     "MySqlServer",
     "OltpClient",
     "OltpConfig",
     "PostmarkConfig",
     "PostmarkJob",
     "PostmarkResult",
+    "hostile_block",
+    "hostile_dirent_corpus",
     "run_ganiw_install",
     "setup_system_image",
 ]

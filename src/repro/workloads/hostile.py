@@ -1,0 +1,137 @@
+"""Hostile-tenant workload: adversarial bytes for the semantic monitor.
+
+A compromised VM cannot dodge the wire (every access still crosses the
+middle-box), but it *can* write garbage engineered to confuse — or
+crash — the monitor's filesystem reconstruction: directory blocks with
+absurd name lengths, truncated entries, non-UTF-8 names, blocks that
+merely look like metadata.  This module generates that corpus,
+deterministically from a seed, so the fuzz regression suite replays
+bit-identically.
+
+The invariants under test (see ``tests/integrity/test_fuzz_monitor.py``):
+the monitor must never raise, never grow unbounded state, and must keep
+logging legitimate accesses afterwards.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.fs.layout import BLOCK_SIZE
+from repro.sim.rng import SeededRNG
+
+_DIRENT_HEADER = struct.Struct("<IH")
+
+
+def _random_bytes(rng: SeededRNG) -> bytes:
+    return rng.randbytes(BLOCK_SIZE)
+
+
+def _all_ones(rng: SeededRNG) -> bytes:
+    return b"\xff" * BLOCK_SIZE
+
+
+def _all_zeros(rng: SeededRNG) -> bytes:
+    return b"\x00" * BLOCK_SIZE
+
+
+def _dirent_soup(rng: SeededRNG) -> bytes:
+    """Entries with adversarial name_len fields (0, 255, 65535...)."""
+    chunks = []
+    for _ in range(rng.randint(1, 12)):
+        ino = rng.randint(0, 2**32 - 1)
+        name_len = rng.choice([0, 1, 254, 255, 256, 4095, 65535])
+        name = rng.randbytes(min(name_len, 64))
+        chunks.append(_DIRENT_HEADER.pack(ino, name_len) + name)
+    return b"".join(chunks)
+
+
+def _truncated_entries(rng: SeededRNG) -> bytes:
+    """A plausible run of entries cut off mid-header/mid-name."""
+    chunks = []
+    for i in range(rng.randint(2, 8)):
+        name = b"f" * rng.randint(1, 32)
+        chunks.append(_DIRENT_HEADER.pack(i + 11, len(name)) + name)
+    raw = b"".join(chunks)
+    return raw[: rng.randint(1, max(2, len(raw) - 1))]
+
+
+def _non_utf8_names(rng: SeededRNG) -> bytes:
+    """Well-formed headers whose names do not decode as UTF-8."""
+    chunks = []
+    for i in range(rng.randint(1, 6)):
+        name = bytes([0xC0, 0x80]) + rng.randbytes(6)  # invalid UTF-8 lead
+        chunks.append(_DIRENT_HEADER.pack(i + 2, len(name)) + name)
+    chunks.append(_DIRENT_HEADER.pack(0, 0))
+    return b"".join(chunks)
+
+
+def _metadata_mimicry(rng: SeededRNG) -> bytes:
+    """Bytes shaped like an inode table / indirect block: plausible
+    little-endian integers everywhere, so blind classification of an
+    unclassified write has something to choke on."""
+    words = [rng.randint(0, 2**31 - 1) for _ in range(BLOCK_SIZE // 4)]
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def _valid_then_garbage(rng: SeededRNG) -> bytes:
+    """A few well-formed entries, then raw noise — parsing must stop
+    cleanly at the first malformed one, keeping the good prefix."""
+    chunks = []
+    for i in range(rng.randint(1, 4)):
+        name = f"file{i}".encode("utf-8")
+        chunks.append(_DIRENT_HEADER.pack(i + 20, len(name)) + name)
+    chunks.append(rng.randbytes(64))
+    return b"".join(chunks)
+
+
+GENERATORS = (
+    _random_bytes,
+    _dirent_soup,
+    _truncated_entries,
+    _non_utf8_names,
+    _metadata_mimicry,
+    _valid_then_garbage,
+    _all_ones,
+    _all_zeros,
+)
+
+
+def hostile_block(rng: SeededRNG, index: int) -> bytes:
+    """One adversarial 4 KiB block; generator chosen round-robin so a
+    corpus covers every shape regardless of its size."""
+    raw = GENERATORS[index % len(GENERATORS)](rng)
+    return raw[:BLOCK_SIZE].ljust(BLOCK_SIZE, b"\x00")
+
+
+def hostile_dirent_corpus(seed: int = 0, count: int = 64) -> list[bytes]:
+    """A deterministic corpus of ``count`` hostile blocks.  The same
+    seed always produces the same bytes — the fuzz suite's regression
+    contract."""
+    rng = SeededRNG(seed, name="hostile")
+    return [hostile_block(rng.child(f"block:{i}"), i) for i in range(count)]
+
+
+class HostileWorkload:
+    """Drives the corpus at a volume through a normal iSCSI session.
+
+    Every write is transport-legal (aligned, in-bounds) but carries
+    attacker bytes: the point is what the *monitor* makes of them, not
+    whether the target stores them.
+    """
+
+    def __init__(self, session, seed: int = 0, blocks: int = 64, offset: int = 0):
+        self.session = session
+        self.seed = seed
+        self.blocks = blocks
+        self.offset = offset
+        self.writes_completed = 0
+
+    def run(self):
+        """Process: write the whole corpus; returns blocks written."""
+        for i, block in enumerate(hostile_dirent_corpus(self.seed, self.blocks)):
+            yield self.session.write(
+                self.offset + i * BLOCK_SIZE, BLOCK_SIZE, block
+            )
+            self.writes_completed += 1
+        return self.writes_completed

@@ -1,0 +1,43 @@
+"""Shared hostile-tenant environment: the recoverable FaultEnv cloud
+with the end-to-end integrity layer on (``CloudParams.integrity``),
+plus helpers to compare the endpoint's detection ledger against the
+injector's ground truth."""
+
+import pytest
+
+from repro.iscsi.pdu import volume_iqn
+from repro.net.stack import NetworkStack
+
+from tests.faults.conftest import FaultEnv, recovery_params
+
+VOL_IQN = volume_iqn("vol1")
+
+
+def integrity_env(**overrides):
+    """FaultEnv with integrity verification on.
+
+    Resets the process-wide ephemeral-port counter so two identical
+    adversarial scenarios produce byte-identical timelines.
+    """
+    NetworkStack._ephemeral_port_counter = 49152
+    return FaultEnv(params=recovery_params(integrity=True, **overrides))
+
+
+def layer(env):
+    return env.cloud.integrity
+
+
+def detected(env):
+    """(kind, flow, seq) rows of every endpoint detection, in order."""
+    return [(d.kind, d.flow, d.seq) for d in env.cloud.integrity.detections]
+
+
+def injected(env):
+    """(kind, flow, seq) ground-truth rows of every executed
+    adversarial action, in order."""
+    return [(row["kind"], row["flow"], row["seq"]) for row in env.injector.adversarial]
+
+
+@pytest.fixture
+def env():
+    return integrity_env()

@@ -1,0 +1,174 @@
+"""Adversarial exactness: every executed hostile action is detected,
+every detection maps to an executed action — detected-set ==
+injected-set, with zero false positives on clean traffic."""
+
+import pytest
+
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.integrity import IntegrityError
+
+from tests.integrity.conftest import VOL_IQN, detected, injected, integrity_env, layer
+
+
+def block(value):
+    return bytes([value]) * BLOCK_SIZE
+
+
+def test_tamper_detected_exactly():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(1))
+        env.injector.tamper_payload(mb, count=1)
+        yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(2))
+        yield session.write(2 * BLOCK_SIZE, BLOCK_SIZE, block(3))
+        return (yield session.read(BLOCK_SIZE, BLOCK_SIZE))
+
+    # the tampered write is retried transparently; data lands intact
+    assert env.run(scenario()) == block(2)
+    assert detected(env) == injected(env)
+    assert [kind for kind, _f, _s in detected(env)] == ["tamper"]
+    assert detected(env)[0][1] == VOL_IQN
+    assert layer(env).retries == 1
+
+
+def test_downstream_tamper_detected_at_initiator():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(7))
+        # the next data-bearing PDU through the box is the Data-In
+        env.injector.tamper_payload(mb, count=1)
+        return (yield session.read(0, BLOCK_SIZE))
+
+    assert env.run(scenario()) == block(7)  # retried, then correct
+    assert detected(env) == injected(env)
+    ledger = layer(env).detections
+    assert [d.kind for d in ledger] == ["tamper"]
+    assert ledger[0].where == "initiator"
+    assert ledger[0].direction == "downstream"
+
+
+def test_replay_detected_exactly():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(9))
+        env.injector.replay_pdu(mb, count=1)
+        first = yield session.read(0, BLOCK_SIZE)
+        second = yield session.read(0, BLOCK_SIZE)
+        return first, second
+
+    first, second = env.run(scenario())
+    assert first == second == block(9)
+    assert detected(env) == injected(env)
+    assert [kind for kind, _f, _s in detected(env)] == ["replay"]
+
+
+def test_reorder_detected_exactly():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(4))
+        yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(5))
+        env.injector.reorder_pdus(mb, count=1)
+        # pipelined reads: the held first command is released behind
+        # the second, arriving late at the target
+        pending = [session.read(0, BLOCK_SIZE), session.read(BLOCK_SIZE, BLOCK_SIZE)]
+        results = []
+        for event in pending:
+            results.append((yield event))
+        return results
+
+    results = env.run(scenario())
+    assert results == [block(4), block(5)]  # recovered via retry
+    assert detected(env) == injected(env)
+    assert [kind for kind, _f, _s in detected(env)] == ["reorder"]
+
+
+def test_chain_bypass_detected_as_chain_violation():
+    env = integrity_env()
+    flow, mbs = env.attach(
+        [env.spec(name="a", relay="passive"), env.spec(name="b", relay="passive")]
+    )
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(1))
+        env.injector.chain_bypass(flow, mbs[0])
+        try:
+            yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(2))
+        except IntegrityError:
+            return "failed-closed"
+        return "accepted"
+
+    # the bypass is persistent, so every retry also fails the
+    # traversal proof: the write errors out rather than landing
+    assert env.run(scenario()) == "failed-closed"
+    kinds = {kind for kind, _f, _s in detected(env)}
+    assert kinds == {"chain-violation"}
+    assert [k for k, _f, _s in injected(env)] == ["chain-violation"]
+    # original attempt + every retry was caught
+    assert len(detected(env)) == 1 + layer(env).max_retries
+    assert all(f == VOL_IQN for _k, f, _s in detected(env))
+
+
+def test_mixed_campaign_truth_matches_ledger():
+    """Several different attacks in one run: the union of ground truth
+    matches the union of detections, kind by kind."""
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(1))
+        env.injector.tamper_payload(mb, count=1)
+        yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(2))
+        env.injector.replay_pdu(mb, count=1)
+        yield session.read(0, BLOCK_SIZE)
+        yield session.read(BLOCK_SIZE, BLOCK_SIZE)
+
+    env.run(scenario())
+    assert sorted(detected(env)) == sorted(injected(env))
+    assert {k for k, _f, _s in detected(env)} == {"tamper", "replay"}
+
+
+def test_arming_rules_are_enforced():
+    env = integrity_env()
+    flow, mbs = env.attach(
+        [env.spec(name="p", relay="passive"), env.spec(name="a", relay="active")]
+    )
+    passive, active = mbs
+    with pytest.raises(ValueError):
+        env.injector.replay_pdu(passive)  # needs a socket-owning relay
+    with pytest.raises(ValueError):
+        env.injector.reorder_pdus(passive)
+    with pytest.raises(ValueError):
+        env.injector.chain_bypass(flow, active)  # owns TCP state
+    other = env.storm.provision_middlebox(env.tenant, env.spec(name="x", relay="passive"))
+    with pytest.raises(ValueError):
+        env.injector.chain_bypass(flow, other)  # not on this flow
+
+
+def test_clean_run_has_empty_truth_and_empty_ledger():
+    env = integrity_env()
+    flow, _mbs = env.attach([env.spec(name="noop", relay="active")])
+    session = flow.session
+
+    def scenario():
+        for i in range(8):
+            yield session.write(i * BLOCK_SIZE, BLOCK_SIZE, block(i + 1))
+        for i in range(8):
+            yield session.read(i * BLOCK_SIZE, BLOCK_SIZE)
+
+    env.run(scenario())
+    assert injected(env) == []
+    assert detected(env) == []

@@ -1,0 +1,118 @@
+"""Zero false positives: real workloads through real chains with
+integrity verification on must complete with an empty detection
+ledger — including a hostile workload whose *payloads* are garbage but
+whose transport behaviour is honest."""
+
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.fs import ExtFilesystem, SessionDevice
+from repro.workloads import (
+    FioConfig,
+    FioJob,
+    HostileWorkload,
+    PostmarkConfig,
+    PostmarkJob,
+)
+
+from tests.integrity.conftest import VOL_IQN, detected, integrity_env, layer
+
+
+def run_fio(env, session, ios=30):
+    config = FioConfig(
+        io_size=BLOCK_SIZE, ios_per_thread=ios, region_size=512 * BLOCK_SIZE
+    )
+    job = FioJob(env.sim, session, config, vm=env.vm, params=env.cloud.params)
+    return env.run(job.run())
+
+
+def assert_clean(env, stamped_floor=1):
+    assert detected(env) == []
+    assert layer(env).stamped >= stamped_floor
+    assert layer(env).verified >= stamped_floor
+    assert layer(env).retries == 0
+    assert layer(env).breaker.trips == 0
+
+
+def test_fio_through_passive_chain_clean():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    assert layer(env).expected_hops(VOL_IQN) == (mb.name,)
+    result = run_fio(env, flow.session)
+    assert result.errors == 0 and result.completed == 30
+    assert_clean(env, stamped_floor=30)
+
+
+def test_fio_through_active_chain_clean():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    result = run_fio(env, flow.session)
+    assert result.errors == 0 and result.completed == 30
+    assert_clean(env, stamped_floor=30)
+
+
+def test_fio_through_transforming_chain_clean():
+    """Encryption rewrites every payload in flight; the re-stamped MAC
+    plus the traversal proof must still verify end to end."""
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="enc", kind="encryption", relay="active")])
+    result = run_fio(env, flow.session)
+    assert result.errors == 0 and result.completed == 30
+    assert_clean(env, stamped_floor=30)
+
+
+def test_two_box_mixed_chain_clean():
+    env = integrity_env()
+    flow, mbs = env.attach(
+        [
+            env.spec(name="noop", relay="passive"),
+            env.spec(name="enc", kind="encryption", relay="active"),
+        ]
+    )
+    assert layer(env).expected_hops(VOL_IQN) == tuple(mb.name for mb in mbs)
+    data = bytes(range(256)) * 16
+
+    def scenario():
+        yield flow.session.write(0, BLOCK_SIZE, data)
+        return (yield flow.session.read(0, BLOCK_SIZE))
+
+    assert env.run(scenario()) == data
+    assert_clean(env, stamped_floor=2)
+
+
+def test_postmark_through_chain_clean():
+    env = integrity_env()
+    flow, _mbs = env.attach([env.spec(name="noop", relay="active")])
+    device = SessionDevice(flow.session, env.volume.size // BLOCK_SIZE)
+    ExtFilesystem.mkfs(env.volume)
+    fs = ExtFilesystem(env.sim, device)
+    env.run(fs.mount())
+    job = PostmarkJob(
+        env.sim,
+        fs,
+        PostmarkConfig(file_count=8, transactions=20),
+        vm=env.vm,
+        params=env.cloud.params,
+    )
+    result = env.run(job.run())
+    assert result.creations >= 8
+    assert_clean(env)
+
+
+def test_hostile_payloads_are_not_integrity_violations():
+    """Garbage *content* written over an honest transport is correctly
+    MAC'd garbage — the integrity layer must stay silent (the semantic
+    monitor, not the MAC check, is what judges content)."""
+    env = integrity_env()
+    flow, _mbs = env.attach([env.spec(name="noop", relay="passive")])
+    workload = HostileWorkload(flow.session, seed=3, blocks=16)
+    assert env.run(workload.run()) == 16
+    assert_clean(env, stamped_floor=16)
+
+
+def test_detached_flow_unregisters_chain():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    assert layer(env).expected_hops(VOL_IQN) == (mb.name,)
+
+    env.storm.detach(flow)
+    env.sim.run()
+    assert layer(env).expected_hops(VOL_IQN) == ()

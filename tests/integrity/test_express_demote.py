@@ -1,0 +1,82 @@
+"""An integrity violation must kick every flow off the analytic
+express path: detections only happen on the packet walk, so a violated
+datapath cannot be trusted to the flow-level shortcut."""
+
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.workloads import FioConfig, FioJob
+
+from tests.integrity.conftest import detected, integrity_env
+
+
+def express_integrity_env():
+    return integrity_env(express=True, tcp_rto=0.02, iscsi_relogin_backoff=0.02)
+
+
+def test_detection_demotes_promoted_flows():
+    env = express_integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    session = flow.session
+    manager = env.sim.express
+
+    def scenario():
+        # steady traffic gets the flow promoted
+        for i in range(60):
+            yield session.write(i * BLOCK_SIZE, BLOCK_SIZE, bytes([i % 251 + 1]) * BLOCK_SIZE)
+            if manager.active_flows > 0:
+                break
+        assert manager.active_flows > 0, "flow never promoted"
+        promoted = manager.active_flows
+        demotions_before = manager.demotions
+        # tamper mid-express: arming alone demotes (fault.* actions
+        # always do), and the detection demotes again if anything
+        # re-promoted meanwhile
+        env.injector.tamper_payload(mb, count=1)
+        assert manager.active_flows == 0, "arming must leave no flow promoted"
+        yield session.write(0, BLOCK_SIZE, bytes([7]) * BLOCK_SIZE)
+        return promoted, demotions_before
+
+    promoted, demotions_before = env.run(scenario())
+    assert manager.promotions >= 1
+    # every promoted flow came off the fast path when the attack armed
+    assert manager.demotions >= demotions_before + promoted
+    assert [kind for kind, _f, _s in detected(env)] == ["tamper"]
+
+
+def test_detection_itself_calls_demote_all():
+    """Independent of the injector's arm-time demotion, the layer's
+    own detection path must kick flows off the fast path (an attack
+    might not arrive via the injector at all)."""
+    from repro.integrity import IntegrityLayer
+    from repro.iscsi.pdu import ScsiCommandPdu
+    from repro.sim import Simulator
+
+    class _Express:
+        def __init__(self):
+            self.reasons = []
+
+        def demote_all(self, reason=""):
+            self.reasons.append(reason)
+
+    sim = Simulator()
+    sim.express = _Express()
+    layer = IntegrityLayer(sim)
+    pdu = ScsiCommandPdu("write", 0, 4096, 1, b"a" * 4096)
+    layer.stamp(pdu, "iqn.2016-01.org.repro:vol1", "upstream", "initiator")
+    pdu.data = b"Z" + pdu.data[1:]
+    layer.verify(pdu, "iqn.2016-01.org.repro:vol1", "upstream", "target")
+    assert sim.express.reasons == ["integrity"]
+
+
+def test_express_workload_completes_correctly_despite_tamper():
+    """Equivalence under attack: the demoted workload finishes over
+    the packet path with every I/O intact."""
+    env = express_integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    env.injector.at(0.05, env.injector.tamper_payload, mb, 2)
+    config = FioConfig(
+        io_size=BLOCK_SIZE, ios_per_thread=40, region_size=512 * BLOCK_SIZE
+    )
+    job = FioJob(env.sim, flow.session, config, vm=env.vm, params=env.cloud.params)
+    result = env.run(job.run())
+    assert result.errors == 0
+    assert result.completed == 40

@@ -1,0 +1,108 @@
+"""Detection wired into recovery: verified-corrupt commands are
+rejected with a check condition and re-driven, bounded; persistent
+violations fail closed; the filesystem stays consistent throughout."""
+
+import pytest
+
+from repro.blockdev.disk import BLOCK_SIZE
+from repro.fs import ExtFilesystem, SessionDevice, fsck
+from repro.integrity import IntegrityError
+
+from tests.integrity.conftest import detected, integrity_env, layer
+
+
+def block(value):
+    return bytes([value]) * BLOCK_SIZE
+
+
+def test_write_tamper_rejected_then_lands_intact():
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    session = flow.session
+
+    def scenario():
+        env.injector.tamper_payload(mb, count=1)
+        yield session.write(0, BLOCK_SIZE, block(42))
+        return (yield session.read(0, BLOCK_SIZE))
+
+    assert env.run(scenario()) == block(42)
+    # the target refused the corrupt copy: it never reached the disk
+    target = env.storage.target
+    assert target.integrity_rejections == 1
+    assert session.integrity_retries == 1
+    assert layer(env).retries == 1
+
+
+def test_read_tamper_never_reaches_the_application():
+    """A corrupt Data-In is verified at the initiator *before* the
+    read completes — the caller only ever sees the retried clean copy."""
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(17))
+        env.injector.tamper_payload(mb, count=1)
+        return (yield session.read(0, BLOCK_SIZE))
+
+    assert env.run(scenario()) == block(17)
+    assert [d.where for d in layer(env).detections] == ["initiator"]
+    assert session.integrity_retries == 1
+
+
+def test_retries_are_bounded_then_fail_closed():
+    """A persistent violation (chain bypass survives any retry) gives
+    up after ``integrity_max_retries`` and raises instead of lying."""
+    env = integrity_env()
+    flow, mbs = env.attach(
+        [env.spec(name="a", relay="passive"), env.spec(name="b", relay="passive")]
+    )
+    session = flow.session
+
+    def scenario():
+        yield session.write(0, BLOCK_SIZE, block(1))
+        env.injector.chain_bypass(flow, mbs[1])
+        with pytest.raises(IntegrityError):
+            yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(2))
+
+    env.run(scenario())
+    assert session.integrity_retries == layer(env).max_retries
+    assert len(detected(env)) == 1 + layer(env).max_retries
+
+
+def test_retry_sequences_never_reuse_numbers():
+    """Retried commands carry fresh stamps, so recovery traffic is
+    never itself misread as a replay."""
+    env = integrity_env()
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="passive")])
+    session = flow.session
+
+    def scenario():
+        env.injector.tamper_payload(mb, count=1)
+        yield session.write(0, BLOCK_SIZE, block(3))
+        yield session.write(BLOCK_SIZE, BLOCK_SIZE, block(4))
+
+    env.run(scenario())
+    kinds = [kind for kind, _f, _s in detected(env)]
+    assert kinds == ["tamper"]  # no phantom replay/reorder from the retry
+
+
+def test_filesystem_consistent_after_tamper_recovery():
+    """End to end: a tampered write mid-filesystem-update is retried
+    under the covers and fsck stays clean."""
+    env = integrity_env()
+    ExtFilesystem.mkfs(env.volume)
+    flow, (mb,) = env.attach([env.spec(name="noop", relay="active")])
+    device = SessionDevice(flow.session, env.volume.size // BLOCK_SIZE)
+    fs = ExtFilesystem(env.sim, device)
+    env.run(fs.mount())
+
+    env.injector.tamper_payload(mb, count=2)
+    env.run(fs.mkdir("/evidence"))
+    env.run(fs.write_file("/evidence/report.txt", block(65)))
+    assert env.run(fs.read_file("/evidence/report.txt")) == block(65)
+
+    report = fsck(env.volume)
+    assert report.clean, report
+    assert detected(env), "the tampered writes must have been caught"
+    assert flow.session.integrity_retries >= 1
