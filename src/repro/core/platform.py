@@ -507,6 +507,9 @@ class StorM:
                     do=lambda: self._deprovision_middlebox_impl(mb),
                     pivot=True,
                     locked=False,
+                    # teardown is idempotent (_impl no-ops once popped);
+                    # a crash mid-step re-drives it, never re-provisions
+                    forward_only=True,
                 )
             ],
             mb=mb.name,
@@ -892,7 +895,10 @@ class StorM:
             "detach",
             flow.cookie,
             [
-                SagaStep("close-session", do=do_close, pivot=True, locked=False),
+                # the pivot is first on purpose: a mid-detach crash must
+                # finish the teardown, never reopen the session
+                SagaStep("close-session", do=do_close, pivot=True, locked=False,
+                         forward_only=True),
                 SagaStep("remove-rules", do=do_remove_rules, locked=False),
                 SagaStep("unregister-flow", do=do_unregister, locked=False),
             ],

@@ -90,6 +90,14 @@ class SagaStep:
     locked: bool = True
     #: stash the step result under this key in the saga's shared state.
     store: Optional[str] = None
+    #: declares that this step intentionally has no compensator: it is
+    #: idempotent teardown that recovery re-drives forward rather than
+    #: undoing.  Purely declarative (an absent ``undo`` already runs
+    #: nothing) — but stormlint's ``saga-compensated`` contract rule
+    #: requires every pre-pivot step to carry either an ``undo`` or
+    #: this marker, so the "no compensator" decision is always explicit
+    #: and reviewable at the call site.
+    forward_only: bool = False
 
 
 class Saga:

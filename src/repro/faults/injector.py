@@ -20,7 +20,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import copy
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.obs.eventlog import EventLog, make_event_log
 from repro.net.link import Link
@@ -107,7 +107,7 @@ class RelayAdversary:
     raise — so tests assert detected-set == injected-set exactly.
     """
 
-    def __init__(self, injector: "FaultInjector", middlebox, rng: SeededRNG):
+    def __init__(self, injector: "FaultInjector", middlebox: Any, rng: SeededRNG):
         self.injector = injector
         self.middlebox = middlebox
         self.rng = rng
@@ -122,7 +122,7 @@ class RelayAdversary:
 
     # -- plumbing ------------------------------------------------------
 
-    def _truth(self, kind: str, event: str, pdu, **detail) -> None:
+    def _truth(self, kind: str, event: str, pdu: Any, **detail: Any) -> None:
         tag = getattr(pdu, "tag", None)
         flow = getattr(tag, "flow", "") or self.middlebox.name
         seq = getattr(tag, "seq", -1)
@@ -134,7 +134,7 @@ class RelayAdversary:
         )
 
     @staticmethod
-    def _send_quietly(socket, pdu) -> None:
+    def _send_quietly(socket: Any, pdu: Any) -> None:
         try:
             socket.send(pdu, pdu.wire_size)
         except ConnectionReset:
@@ -148,7 +148,7 @@ class RelayAdversary:
 
     # -- the egress hook (called by PassiveRelay / ActiveRelay) --------
 
-    def on_egress(self, pdu, direction: str, socket, streamed: bool):
+    def on_egress(self, pdu: Any, direction: str, socket: Any, streamed: bool) -> Any:
         """Returns the PDU to send (possibly mutated), or None to hold
         it (whole-PDU active-relay path only)."""
         if self._held and self.reorder_next == 0:
@@ -207,7 +207,7 @@ class FaultInjector:
         """The injector's timeline (alias kept for analysis scripts)."""
         return self.log
 
-    def _record(self, kind: str, target: str, **detail) -> None:
+    def _record(self, kind: str, target: str, **detail: Any) -> None:
         self.log.record(self.sim.now, kind, target, **detail)
 
     def _demote_express(self, reason: str) -> None:
@@ -220,7 +220,7 @@ class FaultInjector:
 
     # -- scheduling -----------------------------------------------------
 
-    def at(self, when: float, action: Callable, *args) -> None:
+    def at(self, when: float, action: Callable, *args: Any) -> None:
         """Run ``action(*args)`` at absolute simulated time ``when``."""
         delay = when - self.sim.now
         if delay < 0:
@@ -295,14 +295,14 @@ class FaultInjector:
         self.at(down_at, self.link_down, link)
         self.at(down_at + down_for, self.link_up, link)
 
-    def partition(self, *nodes) -> None:
+    def partition(self, *nodes: Any) -> None:
         """Down every link attached to the given nodes."""
         for node in nodes:
             for iface in node.interfaces:
                 if iface.link is not None:
                     self.link_down(iface.link)
 
-    def heal_partition(self, *nodes) -> None:
+    def heal_partition(self, *nodes: Any) -> None:
         for node in nodes:
             for iface in node.interfaces:
                 if iface.link is not None:
@@ -310,7 +310,7 @@ class FaultInjector:
 
     # -- control-plane faults (repro.core.ha clusters) ---------------------
 
-    def control_partition(self, cluster, *names) -> None:
+    def control_partition(self, cluster: Any, *names: str) -> None:
         """Partition the named control-plane replicas from the rest of
         the cluster by downing their replication links.  ``names`` is
         one side of the split (e.g. the minority); the same seeded
@@ -320,12 +320,12 @@ class FaultInjector:
         self._record("fault.control-partition", ",".join(names))
         self.partition(*nodes)
 
-    def heal_control_partition(self, cluster, *names) -> None:
+    def heal_control_partition(self, cluster: Any, *names: str) -> None:
         nodes = [cluster.node(name) for name in names]
         self._record("fault.control-heal", ",".join(names))
         self.heal_partition(*nodes)
 
-    def isolate_leader(self, cluster):
+    def isolate_leader(self, cluster: Any) -> Any:
         """Split-brain injection: cut the current leader's replication
         links (the node itself stays up — it only loses its peers).
         Returns the isolated node (None if the cluster is leaderless).
@@ -335,8 +335,8 @@ class FaultInjector:
             self.control_partition(cluster, leader.name)
         return leader
 
-    def crash_leader(self, cluster, restart_after: Optional[float] = None,
-                     silent: bool = False):
+    def crash_leader(self, cluster: Any, restart_after: Optional[float] = None,
+                     silent: bool = False) -> Any:
         """Crash whichever replica currently leads the cluster.
         Returns the crashed node (None if leaderless)."""
         leader = cluster.leader_node
@@ -344,7 +344,7 @@ class FaultInjector:
             self.crash(leader, restart_after=restart_after, silent=silent)
         return leader
 
-    def lose_intent_log(self, cluster) -> None:
+    def lose_intent_log(self, cluster: Any) -> None:
         """Total intent-log loss across every replica (correlated
         controller-fleet storage failure): the cluster must rebuild
         its state from the switch tables."""
@@ -353,7 +353,9 @@ class FaultInjector:
 
     # -- node crash / restart ---------------------------------------------
 
-    def crash(self, node, restart_after: Optional[float] = None, silent: bool = False):
+    def crash(
+        self, node: Any, restart_after: Optional[float] = None, silent: bool = False
+    ) -> None:
         """Crash a node (VM, middle-box, compute or storage host).
 
         Connections die: abortively with RST on the wire (fail-fast
@@ -382,7 +384,7 @@ class FaultInjector:
         if restart_after is not None:
             self.at(self.sim.now + restart_after, self.restart, node)
 
-    def restart(self, node) -> None:
+    def restart(self, node: Any) -> None:
         """Re-plug a crashed node's interfaces and mark it healthy."""
         if not node.crashed:
             return
@@ -403,7 +405,7 @@ class FaultInjector:
     # -- disk faults --------------------------------------------------------
 
     def disk_errors(
-        self, disk, read_error_prob: float = 0.0, write_error_prob: float = 0.0
+        self, disk: Any, read_error_prob: float = 0.0, write_error_prob: float = 0.0
     ) -> None:
         """Make a disk's I/Os fail probabilistically with DiskIOError."""
         rng = self.rng.child(f"disk:{disk.name}")
@@ -420,7 +422,9 @@ class FaultInjector:
             write=write_error_prob,
         )
 
-    def fail_next_disk_io(self, disk, op: Optional[str] = None, count: int = 1) -> None:
+    def fail_next_disk_io(
+        self, disk: Any, op: Optional[str] = None, count: int = 1
+    ) -> None:
         """Deterministically fail the next ``count`` I/Os (optionally
         only of one op kind)."""
         state = {"remaining": count}
@@ -438,13 +442,13 @@ class FaultInjector:
         disk.fault_hook = hook
         self._record("fault.disk-fail-next", disk.name, op=op or "any", count=count)
 
-    def clear_disk(self, disk) -> None:
+    def clear_disk(self, disk: Any) -> None:
         disk.fault_hook = None
         self._record("fault.clear-disk", disk.name)
 
     # -- adversarial (hostile-tenant) actions ------------------------------
 
-    def _adversary_for(self, mb) -> RelayAdversary:
+    def _adversary_for(self, mb: Any) -> RelayAdversary:
         relay = getattr(mb, "relay", None)
         if relay is None:
             raise ValueError(
@@ -458,13 +462,13 @@ class FaultInjector:
         return relay.adversary
 
     @staticmethod
-    def _require_active_relay(mb, action: str) -> None:
+    def _require_active_relay(mb: Any, action: str) -> None:
         # duck-typed (faults must not import repro.core): only the
         # active relay owns sockets to inject cloned PDUs into
         if not hasattr(mb.relay, "nvm"):
             raise ValueError(f"{action} needs an active (redirect-mode) relay")
 
-    def tamper_payload(self, mb, count: int = 1) -> RelayAdversary:
+    def tamper_payload(self, mb: Any, count: int = 1) -> RelayAdversary:
         """Compromise ``mb``: flip one seeded byte in the payload of
         the next ``count`` data-bearing PDUs it relays, *after* hop
         stamping — the endpoint's MAC check is what must catch it."""
@@ -474,7 +478,7 @@ class FaultInjector:
         self._record("fault.tamper-armed", mb.name, count=count)
         return adversary
 
-    def replay_pdu(self, mb, count: int = 1) -> RelayAdversary:
+    def replay_pdu(self, mb: Any, count: int = 1) -> RelayAdversary:
         """Compromise ``mb``: re-send a clone of the next ``count``
         stamped PDUs right behind the originals (a replay attack; the
         endpoint's sequence window must reject the duplicates)."""
@@ -485,7 +489,7 @@ class FaultInjector:
         self._record("fault.replay-armed", mb.name, count=count)
         return adversary
 
-    def reorder_pdus(self, mb, count: int = 1) -> RelayAdversary:
+    def reorder_pdus(self, mb: Any, count: int = 1) -> RelayAdversary:
         """Compromise ``mb``: hold the next ``count`` whole-PDU
         commands it relays and release them behind the following PDU —
         an in-flight reordering the endpoint's window must flag."""
@@ -496,7 +500,7 @@ class FaultInjector:
         self._record("fault.reorder-armed", mb.name, count=count)
         return adversary
 
-    def chain_bypass(self, flow, mb) -> None:
+    def chain_bypass(self, flow: Any, mb: Any) -> None:
         """Maliciously reprogram the SDN rules so ``flow`` skips
         ``mb``, *without* the control plane's authorized
         re-registration (which attach/reconfigure perform).  The
@@ -517,7 +521,7 @@ class FaultInjector:
         self._record("tamper.bypass", flow.cookie, mb=mb.name)
 
     @staticmethod
-    def _flow_name(flow) -> str:
+    def _flow_name(flow: Any) -> str:
         """The name integrity detections key on: the volume IQN for
         block flows, the raw flow name otherwise."""
         name = flow.volume_name
@@ -528,7 +532,7 @@ class FaultInjector:
         return volume_iqn(name)
 
     def fuzz_semantic_monitor(
-        self, monitor, blocks: int = 64, base_offset: int = 0,
+        self, monitor: Any, blocks: int = 64, base_offset: int = 0,
         misaligned: int = 4,
     ) -> int:
         """Feed adversarial payloads straight through the monitor's

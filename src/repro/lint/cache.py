@@ -1,0 +1,192 @@
+"""On-disk incremental analysis cache.
+
+Warm runs of the whole-program analyzer must stay under ~2s on the
+full tree, and the dominant cost is parsing + walking ~150 files.  The
+cache stores, per file, everything the engine derives from the file's
+text alone — per-file findings, the module summary the call graph
+links, and the suppression comments — keyed by a content hash, so an
+unchanged file is never re-parsed.  The *cross*-file work (linking,
+effect fixpoint, graph rules, baseline classification) is recomputed
+every run from the summaries; it is cheap and keeping it live means a
+cached run is byte-identical to a cold one (a test asserts this).
+
+Invalidation is two-level: a per-file sha256 of the source, and a
+global key hashing the analyzer's own source files plus the selected
+rule ids — editing any rule drops the whole cache, so stale semantics
+can never leak through a content-hash match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional, Sequence
+
+from repro.lint.callgraph import ModuleSummary
+from repro.lint.findings import Finding
+
+CACHE_VERSION = 1
+
+#: default cache location, relative to the lint root
+DEFAULT_CACHE_PATH = ".stormlint-cache.json"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def analyzer_key(selected_rules: Optional[Sequence[str]]) -> str:
+    """Hash of the analyzer's own sources + the active rule set."""
+    digest = hashlib.sha256()
+    digest.update(f"cache-v{CACHE_VERSION}".encode())
+    pkg_dir = os.path.dirname(os.path.abspath(__file__))
+    for name in sorted(os.listdir(pkg_dir)):
+        if not name.endswith(".py"):
+            continue
+        digest.update(name.encode())
+        try:
+            with open(os.path.join(pkg_dir, name), "rb") as fh:
+                digest.update(fh.read())
+        except OSError:
+            digest.update(b"<unreadable>")
+    for rule_id in sorted(selected_rules or ()):
+        digest.update(rule_id.encode())
+    return digest.hexdigest()
+
+
+def _finding_to_json(f: Finding) -> dict[str, Any]:
+    return {
+        "rule_id": f.rule_id,
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "message": f.message,
+        "snippet": f.snippet,
+        "fingerprint": f.fingerprint,
+        "suppressed": f.suppressed,
+        "chain": list(f.chain),
+    }
+
+
+def _finding_from_json(raw: dict[str, Any]) -> Finding:
+    return Finding(
+        rule_id=str(raw["rule_id"]),
+        path=str(raw["path"]),
+        line=int(raw["line"]),
+        col=int(raw["col"]),
+        message=str(raw["message"]),
+        snippet=str(raw["snippet"]),
+        fingerprint=str(raw["fingerprint"]),
+        suppressed=bool(raw["suppressed"]),
+        chain=tuple(str(c) for c in raw.get("chain", [])),
+    )
+
+
+class FileEntry:
+    """One file's cached derivation."""
+
+    def __init__(
+        self,
+        digest: str,
+        findings: list[Finding],
+        summary: ModuleSummary,
+        suppressions: list[tuple[int, int, list[str], str]],
+    ) -> None:
+        self.digest = digest
+        self.findings = findings
+        self.summary = summary
+        #: (comment line, shielded line, rule ids, raw comment text)
+        self.suppressions = suppressions
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "findings": [_finding_to_json(f) for f in self.findings],
+            "summary": self.summary.to_json(),
+            "suppressions": [
+                [line, target, ids, raw]
+                for line, target, ids, raw in self.suppressions
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict[str, Any]) -> "FileEntry":
+        return cls(
+            digest=str(raw["digest"]),
+            findings=[_finding_from_json(f) for f in raw["findings"]],
+            summary=ModuleSummary.from_json(raw["summary"]),
+            suppressions=[
+                (int(s[0]), int(s[1]), [str(i) for i in s[2]], str(s[3]))
+                for s in raw["suppressions"]
+            ],
+        )
+
+
+class AnalysisCache:
+    """Load-mutate-save wrapper around the cache file."""
+
+    def __init__(self, path: str, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.entries: dict[str, FileEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("key") != self.key:
+            return  # analyzer changed (or corrupt): start cold
+        try:
+            for path, entry in raw.get("files", {}).items():
+                self.entries[str(path)] = FileEntry.from_json(entry)
+        except (KeyError, TypeError, ValueError):
+            self.entries = {}
+
+    def get(self, path: str, digest: str) -> Optional[FileEntry]:
+        entry = self.entries.get(path)
+        if entry is not None and entry.digest == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, path: str, entry: FileEntry) -> None:
+        self.entries[path] = entry
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer in the lint target set."""
+        dead = [p for p in self.entries if p not in live_paths]
+        for p in dead:
+            del self.entries[p]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "key": self.key,
+            "files": {
+                p: self.entries[p].to_json() for p in sorted(self.entries)
+            },
+        }
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            # caching is best-effort: an unwritable target (read-only
+            # checkout, CI sandbox) must never fail the lint run
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

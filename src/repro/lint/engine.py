@@ -1,28 +1,42 @@
-"""The lint engine: file discovery, one shared AST walk, suppressions.
+"""The lint engine: discovery, one shared AST walk, the program pass.
 
-Every AST rule registers the node types it cares about; the engine
-parses each file **once**, walks the tree **once**, and dispatches each
-node to the rules subscribed to its type.  Adding a rule therefore
-costs one class definition (~30 LoC) and no new tree traversals.
+Per file, the engine parses **once**; the tree feeds both the per-file
+rules (dispatched by node type, as in v1) and the
+:class:`~repro.lint.callgraph.ModuleSummary` builder the whole-program
+pass links.  Everything derived from a single file's text — findings,
+summary, suppression comments — is cached on disk keyed by content
+hash (:mod:`repro.lint.cache`), so warm runs skip the parse entirely;
+the cross-file work (call-graph link, effect fixpoint, flow/contract
+rules, baseline classification) is recomputed every run and is cheap.
 
 Suppressions: ``# stormlint: ignore[rule-id]`` (comma-separate several
 ids, or ``ignore[*]`` for all) suppresses findings on its own line —
 or, when the comment stands alone on a line, on the following line.
+Comments are found with :mod:`tokenize`, so the marker inside a string
+literal is *not* a suppression.  Every run tracks which suppression
+ids actually suppressed something; the stale ones surface in
+:attr:`LintResult.stale_suppressions` and ``--prune-suppressions``
+rewrites them away.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.lint import baseline as baseline_mod
+from repro.lint import cache as cache_mod
+from repro.lint.callgraph import ModuleSummary, Program, build_summary
 from repro.lint.findings import (
     FileContext,
     Finding,
     Rule,
+    all_rules,
     compute_fingerprint,
     instantiate,
 )
@@ -33,27 +47,71 @@ _SUPPRESS_RE = re.compile(r"#\s*stormlint:\s*ignore\[([^\]]*)\]")
 #: directories never descended into during discovery
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".benchmarks", ".pytest_cache"}
 
+#: (comment line, shielded line, ids, raw comment text)
+Suppression = tuple[int, int, list[str], str]
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Find every suppression *comment* (tokenize-accurate: markers
+    inside string literals do not count).  A comment alone on its line
+    shields the following line; an inline comment shields its own."""
+    found: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            ids = [p.strip() for p in match.group(1).split(",") if p.strip()]
+            if not ids:
+                continue
+            row, col = tok.start
+            own_line = tok.line[:col].strip() != ""
+            found.append((row, row if own_line else row + 1, ids, tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparsable files already error out of the lint run
+    return found
+
 
 def parse_suppressions(lines: Sequence[str]) -> dict[int, set[str]]:
     """Map 1-based line numbers to the rule ids suppressed there."""
     suppressed: dict[int, set[str]] = {}
-    for idx, line in enumerate(lines, start=1):
-        match = _SUPPRESS_RE.search(line)
-        if not match:
-            continue
-        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        if not ids:
-            continue
-        # A comment-only line shields the *next* line; an inline comment
-        # shields its own.
-        target = idx + 1 if line.strip().startswith("#") else idx
+    for _, target, ids, _raw in collect_suppressions("\n".join(lines)):
         suppressed.setdefault(target, set()).update(ids)
     return suppressed
 
 
-def _is_suppressed(finding: Finding, suppressions: dict[int, set[str]]) -> bool:
-    ids = suppressions.get(finding.line)
-    return bool(ids) and ("*" in ids or finding.rule_id in ids)
+def _suppression_map(suppressions: Iterable[Suppression]) -> dict[int, set[str]]:
+    by_line: dict[int, set[str]] = {}
+    for _, target, ids, _raw in suppressions:
+        by_line.setdefault(target, set()).update(ids)
+    return by_line
+
+
+def _matches(ids: set[str], rule_id: str, aliases: tuple[str, ...] = ()) -> bool:
+    if "*" in ids or rule_id in ids:
+        return True
+    return any(alias in ids for alias in aliases)
+
+
+@dataclass(frozen=True)
+class StaleSuppression:
+    """A suppression comment (or one id inside it) that no longer
+    suppresses anything — dead weight ``--prune-suppressions`` removes."""
+
+    path: str
+    line: int
+    #: the ids in this comment that matched no finding
+    dead_ids: tuple[str, ...]
+    #: every id the comment names (== dead_ids when fully dead)
+    all_ids: tuple[str, ...]
+    comment: str
+
+    @property
+    def fully_dead(self) -> bool:
+        return set(self.dead_ids) == set(self.all_ids)
 
 
 @dataclass
@@ -65,6 +123,12 @@ class LintResult:
     errors: list[tuple[str, str]] = field(default_factory=list)
     files_checked: int = 0
     stale_baseline: list[str] = field(default_factory=list)
+    #: suppression comments that suppressed nothing this run
+    stale_suppressions: list[StaleSuppression] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: absolute repo root the run resolved paths against
+    root: str = ""
 
     @property
     def new(self) -> list[Finding]:
@@ -106,12 +170,11 @@ def discover(paths: Iterable[str], root: str) -> list[str]:
     return sorted(p.replace(os.sep, "/") for p in found)
 
 
-def lint_file_source(
-    source: str, path: str, rules: Sequence[Rule]
-) -> list[Finding]:
-    """Lint one file's text.  ``path`` is the repo-relative posix path
-    used for scoping and fingerprints.  Raises SyntaxError on bad
-    source."""
+def _analyze_source(
+    source: str, path: str, file_rules: Sequence[Rule]
+) -> tuple[list[Finding], ModuleSummary, list[Suppression]]:
+    """Parse once; run the per-file rules and build the module summary
+    from the same tree.  Raises SyntaxError on bad source."""
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
     ctx = FileContext(
@@ -121,43 +184,152 @@ def lint_file_source(
         tree=tree,
         generator_defs=GENERATOR_DEF_COLLECTOR(tree),
     )
-    applicable = [r for r in rules if r.node_types and r.applies_to(path)]
-    if not applicable:
-        return []
-    # type -> subscribed rules, resolved once per file
+    suppressions = collect_suppressions(source)
+    by_line = _suppression_map(suppressions)
+
+    applicable = [r for r in file_rules if r.node_types and r.applies_to(path)]
     dispatch: dict[type, list[Rule]] = {}
     for r in applicable:
         for node_type in r.node_types:
             dispatch.setdefault(node_type, []).append(r)
 
-    suppressions = parse_suppressions(lines)
     occurrences: dict[tuple[str, str], int] = {}
     findings: list[Finding] = []
-    for node in ast.walk(tree):
-        subscribed = dispatch.get(type(node))
-        if not subscribed:
-            continue
-        for r in subscribed:
-            for finding in r.check(node, ctx):
-                key = (finding.rule_id, finding.snippet.strip())
-                occurrence = occurrences.get(key, 0)
-                occurrences[key] = occurrence + 1
-                findings.append(
-                    Finding(
-                        rule_id=finding.rule_id,
-                        path=finding.path,
-                        line=finding.line,
-                        col=finding.col,
-                        message=finding.message,
-                        snippet=finding.snippet,
-                        fingerprint=compute_fingerprint(
-                            finding.rule_id, path, finding.snippet, occurrence
-                        ),
-                        suppressed=_is_suppressed(finding, suppressions),
+    if dispatch:
+        for node in ast.walk(tree):
+            subscribed = dispatch.get(type(node))
+            if not subscribed:
+                continue
+            for r in subscribed:
+                for finding in r.check(node, ctx):
+                    key = (finding.rule_id, finding.snippet.strip())
+                    occurrence = occurrences.get(key, 0)
+                    occurrences[key] = occurrence + 1
+                    ids = by_line.get(finding.line, set())
+                    findings.append(
+                        Finding(
+                            rule_id=finding.rule_id,
+                            path=finding.path,
+                            line=finding.line,
+                            col=finding.col,
+                            message=finding.message,
+                            snippet=finding.snippet,
+                            fingerprint=compute_fingerprint(
+                                finding.rule_id, path, finding.snippet, occurrence
+                            ),
+                            suppressed=_matches(ids, finding.rule_id),
+                        )
+                    )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    summary = build_summary(tree, path, lines)
+    return findings, summary, suppressions
+
+
+def lint_file_source(
+    source: str, path: str, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Lint one file's text.  ``path`` is the repo-relative posix path
+    used for scoping and fingerprints.  Raises SyntaxError on bad
+    source."""
+    findings, _summary, _suppressions = _analyze_source(source, path, rules)
+    return findings
+
+
+def _alias_table(rules: Sequence[Rule]) -> dict[str, tuple[str, ...]]:
+    return {r.id: r.suppression_aliases for r in rules if r.suppression_aliases}
+
+
+def _run_program_rules(
+    program: Program,
+    program_rules: Sequence[Rule],
+    suppressions_by_path: dict[str, list[Suppression]],
+    lines_by_path: dict[str, list[str]],
+) -> list[Finding]:
+    """Run graph rules; fingerprint, suppress, and backfill snippets."""
+    raw: list[Finding] = []
+    for r in program_rules:
+        raw.extend(r.check_program(program))
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    occurrences: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in raw:
+        lines = lines_by_path.get(f.path, [])
+        snippet = f.snippet
+        if not snippet and 1 <= f.line <= len(lines):
+            snippet = lines[f.line - 1].strip()
+        key = (f.path, f.rule_id, snippet.strip())
+        occurrence = occurrences.get(key, 0)
+        occurrences[key] = occurrence + 1
+        by_line = _suppression_map(suppressions_by_path.get(f.path, []))
+        ids = by_line.get(f.line, set())
+        aliases = _ALIASES.get(f.rule_id, ())
+        out.append(
+            Finding(
+                rule_id=f.rule_id,
+                path=f.path,
+                line=f.line,
+                col=f.col,
+                message=f.message,
+                snippet=snippet,
+                fingerprint=compute_fingerprint(
+                    f.rule_id, f.path, snippet, occurrence
+                ),
+                suppressed=_matches(ids, f.rule_id, aliases),
+                chain=f.chain,
+            )
+        )
+    return out
+
+
+#: rule id -> per-file sibling ids whose suppression also applies;
+#: resolved lazily because the registry populates on rule import
+_ALIASES: dict[str, tuple[str, ...]] = {}
+
+
+def _stale_suppressions(
+    suppressions_by_path: dict[str, list[Suppression]],
+    findings: Sequence[Finding],
+    known_ids: set[str],
+) -> list[StaleSuppression]:
+    """Suppression ids that matched no finding this run.
+
+    An id is *used* when some finding sits on the shielded line and the
+    id names its rule (or a flow alias of it, or ``*``).  Unknown ids
+    are stale by definition — they can never match.
+    """
+    by_site: dict[tuple[str, int], list[Finding]] = {}
+    for f in findings:
+        by_site.setdefault((f.path, f.line), []).append(f)
+    reverse_aliases: dict[str, list[str]] = {}
+    for rule_id, aliases in _ALIASES.items():
+        for alias in aliases:
+            reverse_aliases.setdefault(alias, []).append(rule_id)
+
+    stale: list[StaleSuppression] = []
+    for path in sorted(suppressions_by_path):
+        for line, target, ids, rawtext in suppressions_by_path[path]:
+            at_line = by_site.get((path, target), [])
+            dead: list[str] = []
+            for sid in ids:
+                if sid == "*":
+                    if at_line:
+                        continue
+                elif sid in known_ids:
+                    covered = {sid, *reverse_aliases.get(sid, [])}
+                    if any(f.rule_id in covered for f in at_line):
+                        continue
+                dead.append(sid)
+            if dead:
+                stale.append(
+                    StaleSuppression(
+                        path=path,
+                        line=line,
+                        dead_ids=tuple(dead),
+                        all_ids=tuple(ids),
+                        comment=rawtext,
                     )
                 )
-    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
-    return findings
+    return stale
 
 
 def run_lint(
@@ -165,18 +337,40 @@ def run_lint(
     root: str | None = None,
     selected_rules: Sequence[str] | None = None,
     baseline_path: str | None = None,
+    cache_path: str | None = None,
 ) -> LintResult:
     """Lint ``paths`` (files or directories) under ``root``.
 
     Findings matching the baseline at ``baseline_path`` are flagged
     ``baselined`` rather than failing; suppressed ones likewise.  The
-    result's :attr:`LintResult.new` list is what should gate CI.
+    result's :attr:`LintResult.new` list is what should gate CI.  When
+    ``cache_path`` is set, per-file work is reused across runs keyed by
+    content hash (the result is identical either way).
     """
     root = os.path.abspath(root or os.getcwd())
     rules = instantiate(selected_rules)
-    result = LintResult()
+    file_rules = [r for r in rules if r.node_types]
+    repo_rules = [r for r in rules if not r.node_types and not r.needs_program]
+    program_rules = [r for r in rules if r.needs_program]
+    _ALIASES.clear()
+    _ALIASES.update(_alias_table(rules))
+    result = LintResult(root=root)
 
-    for rel_path in discover(paths, root):
+    cache: Optional[cache_mod.AnalysisCache] = None
+    if cache_path is not None:
+        absolute_cache = (
+            cache_path if os.path.isabs(cache_path) else os.path.join(root, cache_path)
+        )
+        cache = cache_mod.AnalysisCache(
+            absolute_cache, cache_mod.analyzer_key(selected_rules)
+        )
+
+    summaries: list[ModuleSummary] = []
+    suppressions_by_path: dict[str, list[Suppression]] = {}
+    lines_by_path: dict[str, list[str]] = {}
+
+    discovered = discover(paths, root)
+    for rel_path in discovered:
         absolute = os.path.join(root, rel_path)
         try:
             with open(absolute, "r", encoding="utf-8") as fh:
@@ -184,19 +378,46 @@ def run_lint(
         except OSError as exc:
             result.errors.append((rel_path, f"unreadable: {exc}"))
             continue
-        try:
-            findings = lint_file_source(source, rel_path, rules)
-        except SyntaxError as exc:
-            result.errors.append((rel_path, f"syntax error: {exc.msg} (line {exc.lineno})"))
-            continue
+        lines_by_path[rel_path] = source.splitlines()
+        digest = cache_mod.source_digest(source)
+        entry = cache.get(rel_path, digest) if cache is not None else None
+        if entry is None:
+            try:
+                findings, summary, suppressions = _analyze_source(
+                    source, rel_path, file_rules
+                )
+            except SyntaxError as exc:
+                result.errors.append(
+                    (rel_path, f"syntax error: {exc.msg} (line {exc.lineno})")
+                )
+                continue
+            if cache is not None:
+                cache.put(
+                    rel_path,
+                    cache_mod.FileEntry(digest, findings, summary, suppressions),
+                )
+        else:
+            findings = entry.findings
+            summary = entry.summary
+            suppressions = entry.suppressions
         result.files_checked += 1
         result.findings.extend(findings)
+        summaries.append(summary)
+        suppressions_by_path[rel_path] = suppressions
+
+    if program_rules and summaries:
+        program = Program(summaries)
+        result.findings.extend(
+            _run_program_rules(
+                program, program_rules, suppressions_by_path, lines_by_path
+            )
+        )
 
     # Repo-level rules run once, against the root.
-    for r in rules:
-        if r.node_types:
-            continue
+    for r in repo_rules:
         result.findings.extend(r.check_repo(root))
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
 
     if baseline_path is not None:
         base = baseline_mod.load(
@@ -216,8 +437,19 @@ def run_lint(
                     fingerprint=f.fingerprint,
                     suppressed=f.suppressed,
                     baselined=(not f.suppressed) and f.fingerprint in base,
+                    chain=f.chain,
                 )
                 for f in result.findings
             ]
             result.stale_baseline = base.stale(result.findings)
+
+    result.stale_suppressions = _stale_suppressions(
+        suppressions_by_path, result.findings, set(all_rules())
+    )
+
+    if cache is not None:
+        cache.prune(set(discovered))
+        cache.save()
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
     return result

@@ -12,7 +12,10 @@ from __future__ import annotations
 import ast
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.lint.callgraph import Program
 
 
 @dataclass(frozen=True)
@@ -34,6 +37,9 @@ class Finding:
     fingerprint: str = ""
     suppressed: bool = False
     baselined: bool = False
+    #: whole-program rules attach the call chain (root → ... → leaf
+    #: qualnames) that produced the finding; ``--explain`` prints it
+    chain: tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -77,10 +83,18 @@ class Rule:
     id: str = ""
     #: one-line summary shown in --list-rules
     summary: str = ""
-    #: AST node classes this rule wants to see (empty = repo-level rule)
+    #: AST node classes this rule wants to see (empty = repo-level or
+    #: whole-program rule)
     node_types: tuple[type, ...] = ()
-    #: 'determinism' | 'safety' | 'hygiene'
+    #: 'determinism' | 'safety' | 'hygiene' | 'flow' | 'contract'
     family: str = ""
+    #: whole-program rules run once against the linked :class:`Program`
+    #: (call graph + effect fixpoint) instead of per node or per repo
+    needs_program: bool = False
+    #: per-file rule ids whose inline suppression also silences this
+    #: rule at the same line (the leaf of a flow finding is usually the
+    #: very line the per-file sibling rule flags)
+    suppression_aliases: tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
         """Whether this rule runs on the file at repo-relative ``path``.
@@ -98,6 +112,11 @@ class Rule:
 
     def check_repo(self, root: str) -> Iterator[Finding]:
         """Yield repo-level findings.  Repo rules override this."""
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield whole-program findings.  Rules with
+        ``needs_program = True`` override this."""
         return iter(())
 
     # -- helpers shared by concrete rules -----------------------------
@@ -134,7 +153,13 @@ def all_rules() -> dict[str, type[Rule]]:
     """The full registry, keyed by rule id (import-order stable)."""
     # Importing the rule modules populates the registry lazily so that
     # `from repro.lint.findings import ...` alone has no side effects.
-    from repro.lint import rules_determinism, rules_hygiene, rules_safety  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        rules_contracts,
+        rules_determinism,
+        rules_flow,
+        rules_hygiene,
+        rules_safety,
+    )
 
     return dict(_REGISTRY)
 

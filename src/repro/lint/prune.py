@@ -1,0 +1,90 @@
+"""``--prune-suppressions``: delete suppression ids that no longer
+suppress anything.
+
+A ``# stormlint: ignore[...]`` earns its keep only while a finding
+actually lands on its shielded line; once the underlying code is fixed
+(or the id was a typo all along) the comment silently grants a future
+regression a free pass.  The engine tracks per-run which ids matched
+(:attr:`~repro.lint.engine.LintResult.stale_suppressions`); this
+module rewrites the files: dead ids are dropped from the bracket list,
+a fully-dead marker is stripped from its comment, and a line left
+empty by the removal is deleted.  The repo-clean meta-test fails on
+stale suppressions, so pruning is not optional hygiene — it is how the
+tree stays honest.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Sequence
+
+from repro.lint.engine import StaleSuppression
+
+_MARKER_RE = re.compile(r"#\s*stormlint:\s*ignore\[([^\]]*)\]")
+
+
+def _rewrite_marker(line: str, live_ids: Sequence[str]) -> str:
+    """Replace the marker's id list with ``live_ids``, or strip the
+    marker (and a comment it leaves empty) when none survive."""
+    match = _MARKER_RE.search(line)
+    if match is None:
+        return line
+    if live_ids:
+        return (
+            line[: match.start()]
+            + f"# stormlint: ignore[{', '.join(live_ids)}]"
+            + line[match.end():]
+        )
+    head, tail = line[: match.start()], line[match.end():]
+    # the marker may share its comment with justification text; keep
+    # the comment when real words remain, drop a now-empty "#"
+    if tail.strip():
+        stripped = tail.lstrip(" -—:")
+        if stripped:
+            return head + "# " + stripped if not head.rstrip().endswith("#") else head + stripped
+    return head.rstrip()
+
+
+def prune_suppressions(
+    stale: Sequence[StaleSuppression], root: str
+) -> list[tuple[str, int, str]]:
+    """Apply the removals; returns ``(path, line, what)`` descriptions.
+
+    Edits are applied bottom-up per file so line numbers stay valid
+    while earlier (higher-line) removals delete whole lines.
+    """
+    edits: list[tuple[str, int, str]] = []
+    by_path: dict[str, list[StaleSuppression]] = {}
+    for s in stale:
+        by_path.setdefault(s.path, []).append(s)
+
+    for path in sorted(by_path):
+        absolute = os.path.join(root, path)
+        try:
+            with open(absolute, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError:
+            continue
+        ends_with_newline = text.endswith("\n")
+        lines = text.splitlines()
+        for s in sorted(by_path[path], key=lambda s: -s.line):
+            idx = s.line - 1
+            if not (0 <= idx < len(lines)) or "stormlint" not in lines[idx]:
+                continue  # file changed under us; skip rather than corrupt
+            live = [i for i in s.all_ids if i not in s.dead_ids]
+            rewritten = _rewrite_marker(lines[idx], live)
+            if rewritten.strip() == "":
+                del lines[idx]
+                edits.append((path, s.line, "removed line"))
+            else:
+                lines[idx] = rewritten
+                what = (
+                    f"kept ids [{', '.join(live)}]" if live else "stripped marker"
+                )
+                edits.append((path, s.line, what))
+        new_text = "\n".join(lines) + ("\n" if ends_with_newline and lines else "")
+        if new_text != text:
+            with open(absolute, "w", encoding="utf-8") as fh:
+                fh.write(new_text)
+    return edits

@@ -13,27 +13,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.effects import WALL_CLOCK_CALLS as _WALL_CLOCK_CALLS
 from repro.lint.findings import FileContext, Finding, Rule, rule
 
 #: The one module allowed to touch stdlib ``random`` — everything else
 #: must take a SeededRNG stream.
 RNG_MODULE = "src/repro/sim/rng.py"
-
-_WALL_CLOCK_CALLS = {
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("time", "monotonic"),
-    ("time", "monotonic_ns"),
-    ("time", "perf_counter"),
-    ("time", "perf_counter_ns"),
-    ("time", "process_time"),
-    ("time", "localtime"),
-    ("time", "gmtime"),
-    ("datetime", "now"),
-    ("datetime", "utcnow"),
-    ("datetime", "today"),
-    ("date", "today"),
-}
 
 
 def _call_target(node: ast.Call) -> tuple[str, str] | None:

@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 export.
+
+``python -m repro.lint ... --format sarif`` emits a Static Analysis
+Results Interchange Format log so CI can upload findings and code
+hosts annotate them inline on PRs.  Only *new* findings become
+results (baselined and suppressed ones are the run's accepted debt);
+each result carries the stormlint fingerprint under
+``partialFingerprints`` so re-runs update rather than duplicate
+annotations, and flow/contract findings embed their call chain as
+``codeFlows`` locations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_metadata() -> list[dict[str, Any]]:
+    rules: list[dict[str, Any]] = []
+    for rule_id, cls in sorted(all_rules().items()):
+        doc = (cls.__doc__ or "").strip()
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": cls.summary or rule_id},
+                "fullDescription": {"text": doc},
+                "properties": {"family": cls.family},
+            }
+        )
+    return rules
+
+
+def _location(path: str, line: int, col: int, message: str = "") -> dict[str, Any]:
+    loc: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": {"startLine": max(line, 1), "startColumn": max(col, 1)},
+        }
+    }
+    if message:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def to_sarif(result: LintResult) -> dict[str, Any]:
+    """Build the SARIF log for one lint run."""
+    results: list[dict[str, Any]] = []
+    for f in result.new:
+        entry: dict[str, Any] = {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [_location(f.path, f.line, f.col)],
+            "partialFingerprints": {"stormlint/v1": f.fingerprint},
+        }
+        if f.chain:
+            entry["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": _location(
+                                        f.path, f.line, f.col, message=qual
+                                    )
+                                }
+                                for qual in f.chain
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(entry)
+    for path, message in result.errors:
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "level": "error",
+                "message": {"text": message},
+                "locations": [_location(path, 1, 1)],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "stormlint",
+                        "informationUri": "https://example.invalid/stormlint",
+                        "rules": _rule_metadata(),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }

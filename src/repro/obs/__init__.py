@@ -24,6 +24,7 @@ from repro.obs.sinks import (
     CollectorSink,
     JsonlSink,
     RingSink,
+    Sink,
     to_chrome_trace,
     to_jsonl_lines,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "CollectorSink",
     "JsonlSink",
     "RingSink",
+    "Sink",
     "to_chrome_trace",
     "to_jsonl_lines",
     "events_of",

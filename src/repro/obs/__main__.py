@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import sys
+from typing import Optional, Sequence
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] != "validate":
         print("usage: python -m repro.obs validate <trace.jsonl>", file=sys.stderr)

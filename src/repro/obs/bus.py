@@ -29,11 +29,14 @@ Record schema (what sinks receive, and what the JSONL export writes):
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import CollectorSink, to_chrome_trace, to_jsonl_lines
+from repro.obs.sinks import CollectorSink, Sink, to_chrome_trace, to_jsonl_lines
+
+if TYPE_CHECKING:
+    from repro.sim import Simulator
 
 
 class Span:
@@ -63,12 +66,12 @@ class Span:
     def context(self) -> TraceContext:
         return TraceContext(self.bus, self.trace_id, self.span_id)
 
-    def event(self, kind: str, target: str = "", **attrs) -> None:
+    def event(self, kind: str, target: str = "", **attrs: Any) -> None:
         """A point event attached to this span."""
         self.bus.event(kind, target=target, trace_id=self.trace_id,
                        span_id=self.span_id, **attrs)
 
-    def finish(self, status: str = "ok", **attrs) -> None:
+    def finish(self, status: str = "ok", **attrs: Any) -> None:
         if self.end is not None:
             return  # idempotent: double-finish keeps the first record
         self.end = self.bus.now
@@ -81,7 +84,9 @@ class Span:
 class ObsBus:
     """Per-simulator trace/metrics bus with pluggable sinks."""
 
-    def __init__(self, sim, enabled: bool = True, keep_samples: bool = False):
+    def __init__(
+        self, sim: "Simulator", enabled: bool = True, keep_samples: bool = False
+    ):
         self.sim = sim
         self.enabled = enabled
         self._trace_ids = itertools.count(1)
@@ -92,7 +97,7 @@ class ObsBus:
         self.metrics = MetricsRegistry(keep_samples=keep_samples)
         #: default store every record lands in; exports read from it
         self.collector = CollectorSink()
-        self.sinks: list = [self.collector]
+        self.sinks: list[Sink] = [self.collector]
         self.spans_started = 0
         self.events_emitted = 0
 
@@ -104,7 +109,7 @@ class ObsBus:
 
     # -- sinks -------------------------------------------------------
 
-    def add_sink(self, sink):
+    def add_sink(self, sink: Sink) -> Sink:
         self.sinks.append(sink)
         return sink
 
@@ -114,7 +119,7 @@ class ObsBus:
 
     # -- spans & events ----------------------------------------------
 
-    def span(self, name: str, parent: Any = None, **attrs) -> Span:
+    def span(self, name: str, parent: Any = None, **attrs: Any) -> Span:
         """Open a span.  ``parent`` may be a :class:`Span`, a
         :class:`TraceContext`, or None (which starts a new trace)."""
         if parent is None:
@@ -134,7 +139,7 @@ class ObsBus:
         trace_id: Optional[int] = None,
         span_id: Optional[int] = None,
         ctx: Optional[TraceContext] = None,
-        **attrs,
+        **attrs: Any,
     ) -> None:
         """Emit one point event.  ``ctx`` (if given) attaches the event
         to that context's trace/span; ``when`` overrides the timestamp
@@ -184,7 +189,7 @@ class ObsBus:
         """All collected records plus the metrics snapshot."""
         return list(self.collector.records) + self.metrics.snapshot()
 
-    def export_jsonl(self, path=None) -> str:
+    def export_jsonl(self, path: Optional[str] = None) -> str:
         """Serialize the stream as JSON Lines (deterministic bytes).
         Writes to ``path`` when given; always returns the text."""
         text = "\n".join(to_jsonl_lines(self.export_records())) + "\n"
@@ -193,7 +198,7 @@ class ObsBus:
                 fh.write(text)
         return text
 
-    def export_chrome(self, path=None) -> dict:
+    def export_chrome(self, path: Optional[str] = None) -> dict:
         """Serialize spans/events as a chrome://tracing JSON object."""
         trace = to_chrome_trace(self.collector.records)
         if path is not None:

@@ -17,7 +17,7 @@ check.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:
     from repro.obs.bus import ObsBus, Span
@@ -33,16 +33,16 @@ class TraceContext:
         self.trace_id = trace_id
         self.span_id = span_id
 
-    def child(self, name: str, **attrs) -> "Span":
+    def child(self, name: str, **attrs: Any) -> "Span":
         """Open a child span under this context's span."""
         return self.bus.span(name, parent=self, **attrs)
 
-    def event(self, kind: str, target: str = "", **attrs) -> None:
+    def event(self, kind: str, target: str = "", **attrs: Any) -> None:
         """Emit a point event attached to this context."""
         self.bus.event(kind, target=target, trace_id=self.trace_id,
                        span_id=self.span_id, **attrs)
 
-    def hop(self, node_name: str, packet) -> None:
+    def hop(self, node_name: str, packet: Any) -> None:
         """Record this packet traversing ``node_name`` — the per-hop
         timestamps the latency-breakdown tables are built from."""
         if not self.bus.enabled:

@@ -19,7 +19,10 @@ as before the refactor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:
+    from repro.obs.bus import ObsBus
 
 
 @dataclass
@@ -42,11 +45,13 @@ class EventLog:
     point event (with the caller's explicit timestamp preserved).
     """
 
-    def __init__(self, bus=None):
+    def __init__(self, bus: Optional["ObsBus"] = None):
         self.records: list[EventRecord] = []
         self.bus = bus
 
-    def record(self, when: float, kind: str, target: str = "", **detail) -> EventRecord:
+    def record(
+        self, when: float, kind: str, target: str = "", **detail: Any
+    ) -> EventRecord:
         record = EventRecord(when, kind, target, detail)
         self.records.append(record)
         if self.bus is not None:
@@ -68,11 +73,11 @@ class EventLog:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EventRecord]:
         return iter(self.records)
 
 
-def make_event_log(bus=None) -> EventLog:
+def make_event_log(bus: Optional["ObsBus"] = None) -> EventLog:
     """The sanctioned constructor for event logs outside this package
     (direct ``EventLog(...)`` construction elsewhere is lint-forbidden,
     so façade wiring stays in one place)."""

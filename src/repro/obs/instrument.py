@@ -16,8 +16,13 @@ StorM platform.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Optional
 
-def _wire_link(bus, link, seen: set) -> int:
+if TYPE_CHECKING:
+    from repro.obs.bus import ObsBus
+
+
+def _wire_link(bus: "ObsBus", link: Any, seen: set) -> int:
     if link is None or id(link) in seen:
         return 0
     seen.add(id(link))
@@ -26,7 +31,7 @@ def _wire_link(bus, link, seen: set) -> int:
     return 1
 
 
-def _wire_node(bus, node, seen: set) -> int:
+def _wire_node(bus: "ObsBus", node: Any, seen: set) -> int:
     """Instrument a Node's NAT table and every link off its NICs."""
     links = 0
     stack = getattr(node, "stack", None)
@@ -41,7 +46,7 @@ def _wire_node(bus, node, seen: set) -> int:
     return links
 
 
-def _wire_switch(bus, switch, seen: set) -> int:
+def _wire_switch(bus: "ObsBus", switch: Any, seen: set) -> int:
     switch.obs = bus
     links = 0
     for iface in switch.ports.values():
@@ -49,14 +54,16 @@ def _wire_switch(bus, switch, seen: set) -> int:
     return links
 
 
-def wire_node(bus, node) -> None:
+def wire_node(bus: "ObsBus", node: Any) -> None:
     """Instrument one late-created node (gateway, middle-box): its NAT
     table and the links off its NICs.  Used by the platform when it
     provisions after :func:`instrument` has already run."""
     _wire_node(bus, node, set())
 
 
-def instrument(bus, cloud=None, storm=None) -> dict:
+def instrument(
+    bus: "ObsBus", cloud: Optional[Any] = None, storm: Optional[Any] = None
+) -> dict:
     """Point every ``obs`` hook in the plant at ``bus``.
 
     Pass a ``storm`` platform (its cloud is implied) and/or a bare

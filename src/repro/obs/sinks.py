@@ -19,7 +19,13 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Optional
+from typing import Optional, Protocol, TextIO
+
+
+class Sink(Protocol):
+    """Anything the bus can emit records into."""
+
+    def emit(self, record: dict) -> None: ...
 
 
 def record_to_json(record: dict) -> str:
@@ -38,7 +44,7 @@ def to_chrome_trace(records: list[dict]) -> dict:
     tree renders as one row.  Times are microseconds, as the format
     requires.
     """
-    trace_events = []
+    trace_events: list[dict] = []
     for record in records:
         if record["type"] == "span":
             trace_events.append(
@@ -72,7 +78,7 @@ def to_chrome_trace(records: list[dict]) -> dict:
 class CollectorSink:
     """Keeps every record, in emission order."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.records: list[dict] = []
 
     def emit(self, record: dict) -> None:
@@ -102,7 +108,7 @@ class JsonlSink:
 
     def __init__(self, path: str):
         self.path = path
-        self._fh: Optional[object] = open(path, "w")
+        self._fh: Optional[TextIO] = open(path, "w")
         self.lines_written = 0
 
     def emit(self, record: dict) -> None:

@@ -18,6 +18,7 @@ records, ``saga.takeover`` spans, ``watchdog.*`` healing events...).
 from __future__ import annotations
 
 import json
+from typing import Any, Optional
 
 _NUMBER = (int, float)
 
@@ -105,7 +106,7 @@ KNOWN_NAME_PREFIXES: dict = {
 }
 
 
-def _name_of(kind: str, record: dict):
+def _name_of(kind: str, record: dict) -> Optional[tuple[str, Any]]:
     """(vocabulary family, name) checked in --names mode, or None."""
     if kind == "span":
         return "span", record.get("name")
@@ -116,7 +117,7 @@ def _name_of(kind: str, record: dict):
     return None
 
 
-def validate_record(record, line_no: int = 0, names: bool = False) -> list[str]:
+def validate_record(record: Any, line_no: int = 0, names: bool = False) -> list[str]:
     """Problems with one decoded record ([] when valid)."""
     where = f"line {line_no}: " if line_no else ""
     if not isinstance(record, dict):
@@ -125,7 +126,7 @@ def validate_record(record, line_no: int = 0, names: bool = False) -> list[str]:
     schema = SCHEMAS.get(kind)
     if schema is None:
         return [f"{where}unknown record type {kind!r}"]
-    problems = []
+    problems: list[str] = []
     for key, types in schema.items():
         if key not in record:
             problems.append(f"{where}{kind} record missing key {key!r}")
@@ -153,7 +154,7 @@ def validate_record(record, line_no: int = 0, names: bool = False) -> list[str]:
 
 def validate_lines(text: str, names: bool = False) -> list[str]:
     """Problems across a whole JSONL document ([] when valid)."""
-    problems = []
+    problems: list[str] = []
     last_seq = 0
     for line_no, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -177,7 +178,7 @@ def validate_file(path: str, names: bool = False) -> list[str]:
         return validate_lines(fh.read(), names=names)
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(prog="repro.obs validate")

@@ -6,8 +6,32 @@ import textwrap
 
 import pytest
 
-from repro.lint.engine import lint_file_source
+from repro.lint.engine import lint_file_source, run_lint
 from repro.lint.findings import instantiate
+
+
+def write_tree(root, files):
+    """Materialize ``{relpath: source}`` under ``root`` (dedented)."""
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return root
+
+
+@pytest.fixture
+def run_tree(tmp_path):
+    """Write a fixture tree into tmp_path and run the full linter on
+    it.  Violation fixtures live here, not in the repo, so the
+    repo-clean meta-test stays meaningful."""
+
+    def _run(files, select=None, paths=("src",), **kwargs):
+        write_tree(tmp_path, files)
+        return run_lint(
+            list(paths), root=str(tmp_path), selected_rules=select, **kwargs
+        )
+
+    return _run
 
 
 @pytest.fixture

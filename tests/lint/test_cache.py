@@ -1,0 +1,96 @@
+"""The incremental cache must be invisible: warm results byte-equal
+cold results, and editing one file invalidates exactly that file."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import run_lint
+
+from tests.lint.conftest import write_tree
+
+TREE = {
+    "src/pkg/__init__.py": "",
+    "src/pkg/sim/__init__.py": "",
+    "src/pkg/util.py": """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """,
+    "src/pkg/sim/core.py": """\
+        from pkg.util import stamp
+
+
+        def kernel_step():
+            return stamp()
+        """,
+}
+
+
+def serialize(result):
+    """Canonical JSON of everything a consumer can observe (the cache
+    counters excluded, since they are the only sanctioned difference)."""
+    return json.dumps(
+        {
+            "files_checked": result.files_checked,
+            "new": [vars(f) for f in result.new],
+            "baselined": [vars(f) for f in result.baselined],
+            "suppressed": [vars(f) for f in result.suppressed],
+            "errors": list(result.errors),
+            "stale_baseline": result.stale_baseline,
+        },
+        sort_keys=True,
+        default=list,
+    )
+
+
+def test_warm_run_is_byte_identical_to_cold(tmp_path):
+    write_tree(tmp_path, TREE)
+    cache = str(tmp_path / ".cache.json")
+    cold = run_lint(["src"], root=str(tmp_path), cache_path=cache)
+    warm = run_lint(["src"], root=str(tmp_path), cache_path=cache)
+    assert serialize(cold) == serialize(warm)
+    assert cold.cache_hits == 0 and cold.cache_misses == len(TREE)
+    assert warm.cache_hits == len(TREE) and warm.cache_misses == 0
+
+
+def test_editing_one_file_misses_exactly_once(tmp_path):
+    write_tree(tmp_path, TREE)
+    cache = str(tmp_path / ".cache.json")
+    run_lint(["src"], root=str(tmp_path), cache_path=cache)
+    util = tmp_path / "src/pkg/util.py"
+    util.write_text(util.read_text() + "\n\ndef extra():\n    return 2\n")
+    warm = run_lint(["src"], root=str(tmp_path), cache_path=cache)
+    assert warm.cache_misses == 1
+    assert warm.cache_hits == len(TREE) - 1
+
+
+def test_cache_off_matches_cache_on(tmp_path):
+    write_tree(tmp_path, TREE)
+    cache = str(tmp_path / ".cache.json")
+    run_lint(["src"], root=str(tmp_path), cache_path=cache)  # populate
+    cached = run_lint(["src"], root=str(tmp_path), cache_path=cache)
+    uncached = run_lint(["src"], root=str(tmp_path), cache_path=None)
+    assert serialize(cached) == serialize(uncached)
+
+
+def test_two_runs_serialize_byte_identically(tmp_path):
+    """Determinism gate: two independent cold runs over the same tree
+    produce the same findings, fingerprints, chains, and ordering."""
+    write_tree(tmp_path, TREE)
+    first = run_lint(["src"], root=str(tmp_path))
+    second = run_lint(["src"], root=str(tmp_path))
+    assert serialize(first) == serialize(second)
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    write_tree(tmp_path, TREE)
+    cache = tmp_path / ".cache.json"
+    cache.write_text("{definitely not json")
+    result = run_lint(["src"], root=str(tmp_path), cache_path=str(cache))
+    assert result.cache_misses == len(TREE)
+    # and the rewritten cache is usable on the next run
+    warm = run_lint(["src"], root=str(tmp_path), cache_path=str(cache))
+    assert warm.cache_hits == len(TREE)

@@ -1,0 +1,120 @@
+"""``--prune-suppressions`` rewrite mechanics: dead markers go, live
+ones stay, justification prose survives."""
+
+from __future__ import annotations
+
+from repro.lint.engine import run_lint
+from repro.lint.prune import prune_suppressions
+
+from tests.lint.conftest import write_tree
+
+
+def prune_tree(tmp_path, files, paths=("src",)):
+    write_tree(tmp_path, files)
+    result = run_lint(list(paths), root=str(tmp_path))
+    edits = prune_suppressions(result.stale_suppressions, str(tmp_path))
+    return result, edits
+
+
+def test_fully_dead_inline_marker_is_stripped(tmp_path):
+    result, edits = prune_tree(
+        tmp_path,
+        {
+            "src/repro/mod.py": """\
+                def f(x):
+                    return x + 1  # stormlint: ignore[wall-clock]
+                """,
+        },
+    )
+    assert len(result.stale_suppressions) == 1
+    assert edits == [("src/repro/mod.py", 2, "stripped marker")]
+    assert (
+        tmp_path / "src/repro/mod.py"
+    ).read_text() == "def f(x):\n    return x + 1\n"
+    # a re-run on the pruned tree reports nothing stale
+    assert run_lint(["src"], root=str(tmp_path)).stale_suppressions == []
+
+
+def test_comment_only_line_is_deleted(tmp_path):
+    _, edits = prune_tree(
+        tmp_path,
+        {
+            "src/repro/mod.py": """\
+                def f(x):
+                    # stormlint: ignore[global-rng]
+                    return x + 1
+                """,
+        },
+    )
+    assert edits == [("src/repro/mod.py", 2, "removed line")]
+    assert (
+        tmp_path / "src/repro/mod.py"
+    ).read_text() == "def f(x):\n    return x + 1\n"
+
+
+def test_partial_marker_keeps_live_ids(tmp_path):
+    result, edits = prune_tree(
+        tmp_path,
+        {
+            "src/repro/mod.py": """\
+                import time
+
+
+                def f():
+                    return time.time()  # stormlint: ignore[wall-clock, global-rng]
+                """,
+        },
+    )
+    # wall-clock matched a real finding; global-rng is dead weight
+    assert len(result.suppressed) == 1
+    assert edits == [("src/repro/mod.py", 5, "kept ids [wall-clock]")]
+    text = (tmp_path / "src/repro/mod.py").read_text()
+    assert "# stormlint: ignore[wall-clock]" in text
+    assert "global-rng" not in text
+
+
+def test_justification_prose_survives_marker_removal(tmp_path):
+    _, edits = prune_tree(
+        tmp_path,
+        {
+            "src/repro/mod.py": """\
+                def f(x):
+                    return x  # stormlint: ignore[wall-clock] — legacy shim
+                """,
+        },
+    )
+    assert edits == [("src/repro/mod.py", 2, "stripped marker")]
+    assert "legacy shim" in (tmp_path / "src/repro/mod.py").read_text()
+    assert "stormlint" not in (tmp_path / "src/repro/mod.py").read_text()
+
+
+def test_live_suppressions_are_untouched(tmp_path):
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    return time.time()  # stormlint: ignore[wall-clock]\n"
+    )
+    result, edits = prune_tree(tmp_path, {"src/repro/mod.py": source})
+    assert result.stale_suppressions == []
+    assert edits == []
+    assert (tmp_path / "src/repro/mod.py").read_text() == source
+
+
+def test_prune_skips_lines_that_changed_underneath(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "src/repro/mod.py": """\
+                def f(x):
+                    return x  # stormlint: ignore[wall-clock]
+                """,
+        },
+    )
+    result = run_lint(["src"], root=str(tmp_path))
+    # the file is rewritten between the lint and the prune
+    (tmp_path / "src/repro/mod.py").write_text("def f(x):\n    return x\n")
+    edits = prune_suppressions(result.stale_suppressions, str(tmp_path))
+    assert edits == []
+    assert (tmp_path / "src/repro/mod.py").read_text() == "def f(x):\n    return x\n"

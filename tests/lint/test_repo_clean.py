@@ -40,3 +40,17 @@ def test_baseline_has_no_stale_entries():
         "stale baseline entries (regenerate with --write-baseline): "
         f"{result.stale_baseline}"
     )
+
+
+def test_no_stale_suppressions():
+    """Every ``# stormlint: ignore[...]`` must still shield a live
+    finding; dead ones are removed with ``--prune-suppressions``."""
+    result = run_lint(["src", "tests"], root=REPO_ROOT)
+    stale = [
+        f"{s.path}:{s.line} dead ids {list(s.dead_ids)}"
+        for s in result.stale_suppressions
+    ]
+    assert not stale, (
+        "stale suppressions (run `python -m repro.lint src tests "
+        "--prune-suppressions`):\n" + "\n".join(stale)
+    )

@@ -389,9 +389,9 @@ def test_direct_eventlog_suppression(lint):
 
 def test_registry_has_documented_rules():
     registry = all_rules()
-    assert len(registry) >= 12
+    assert len(registry) >= 18
     families = {cls.family for cls in registry.values()}
-    assert families == {"determinism", "safety", "hygiene"}
+    assert families == {"determinism", "safety", "hygiene", "flow", "contract"}
     for rule_id, cls in registry.items():
         assert cls.summary, f"{rule_id} has no summary"
         doc = cls.__doc__ or ""

@@ -1,0 +1,262 @@
+"""Contract rules: positive / suppressed / clean fixtures for the four
+subsystem-invariant checks."""
+
+from __future__ import annotations
+
+
+def new(result, rule_id):
+    return [f for f in result.new if f.rule_id == rule_id]
+
+
+def suppressed(result, rule_id):
+    return [f for f in result.suppressed if f.rule_id == rule_id]
+
+
+# -- obs-passive -------------------------------------------------------
+
+
+def test_obs_module_scheduling_events_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/obs/__init__.py": "",
+            "src/pkg/obs/bus.py": """\
+                class Bus:
+                    def __init__(self, sim):
+                        self.sim = sim
+
+                    def flush_later(self):
+                        self.sim.timeout(0.1)
+                """,
+        }
+    )
+    findings = new(result, "obs-passive")
+    assert len(findings) == 1
+    assert findings[0].path == "src/pkg/obs/bus.py"
+    assert "kernel-schedule" in findings[0].message
+
+
+def test_obs_reaching_sim_rng_through_helper_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/obs/__init__.py": "",
+            "src/pkg/util.py": """\
+                def salt(rng):
+                    return rng.random()
+                """,
+            "src/pkg/obs/sampler.py": """\
+                from pkg.util import salt
+
+
+                def decide(rng):
+                    return salt(rng)
+                """,
+        },
+        select=["obs-passive"],
+    )
+    findings = new(result, "obs-passive")
+    assert len(findings) == 1
+    assert findings[0].chain == ("pkg.obs.sampler.decide", "pkg.util.salt")
+
+
+def test_passive_obs_module_is_clean(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/obs/__init__.py": "",
+            "src/pkg/obs/bus.py": """\
+                class Bus:
+                    def __init__(self, sim):
+                        self.sim = sim
+
+                    def now(self):
+                        return self.sim.now
+                """,
+        }
+    )
+    assert new(result, "obs-passive") == []
+
+
+def test_obs_test_modules_are_exempt(run_tree):
+    result = run_tree(
+        {
+            "tests/obs/__init__.py": "",
+            "tests/obs/test_bus.py": """\
+                def test_flush(sim, rng):
+                    sim.timeout(1)
+                    rng.random()
+                """,
+        },
+        paths=("tests",),
+    )
+    assert new(result, "obs-passive") == []
+
+
+# -- saga-compensated --------------------------------------------------
+
+
+def test_pre_pivot_step_without_undo_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/ops.py": """\
+                def attach(log):
+                    return log.begin("attach", "c", [
+                        SagaStep("alloc", do_alloc),
+                        SagaStep("commit", do_commit, pivot=True),
+                    ])
+                """,
+        }
+    )
+    findings = new(result, "saga-compensated")
+    assert len(findings) == 1
+    assert "'alloc'" in findings[0].message
+    assert "undo=" in findings[0].message
+
+
+def test_compensated_forward_only_and_post_pivot_steps_are_clean(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/ops.py": """\
+                def attach(log):
+                    return log.begin("attach", "c", [
+                        SagaStep("alloc", do_alloc, undo=undo_alloc),
+                        SagaStep("teardown", do_td, forward_only=True),
+                        SagaStep("commit", do_commit, pivot=True),
+                        SagaStep("announce", do_announce),
+                    ])
+                """,
+        }
+    )
+    assert new(result, "saga-compensated") == []
+
+
+def test_saga_step_suppression(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/ops.py": """\
+                def attach(log):
+                    return log.begin("attach", "c", [
+                        SagaStep("alloc", do_alloc),  # stormlint: ignore[saga-compensated]
+                    ])
+                """,
+        }
+    )
+    assert new(result, "saga-compensated") == []
+    assert len(suppressed(result, "saga-compensated")) == 1
+
+
+# -- express-plan-pure -------------------------------------------------
+
+
+def test_probe_reaching_schedule_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/net/__init__.py": "",
+            "src/pkg/net/express.py": """\
+                def _probe_wire(sim, flow):
+                    sim.timeout(0)
+                    return True
+                """,
+        },
+        select=["express-plan-pure"],
+    )
+    findings = new(result, "express-plan-pure")
+    assert len(findings) == 1
+    assert "kernel-schedule" in findings[0].message
+
+
+def test_probe_mutating_socket_through_helper_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/net/__init__.py": "",
+            "src/pkg/net/wire.py": """\
+                def poke(sock):
+                    sock.send(b"x")
+                """,
+            "src/pkg/net/express.py": """\
+                from pkg.net.wire import poke
+
+
+                def compile(flow, sock):
+                    poke(sock)
+                    return []
+                """,
+        },
+        select=["express-plan-pure"],
+    )
+    findings = new(result, "express-plan-pure")
+    assert len(findings) == 1
+    assert findings[0].chain == ("pkg.net.express.compile", "pkg.net.wire.poke")
+
+
+def test_replay_side_of_express_may_have_effects(run_tree):
+    """Only probe/compile/plan/promote roots are purity-checked —
+    replay is exactly where the compiled effects are meant to run."""
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/net/__init__.py": "",
+            "src/pkg/net/express.py": """\
+                def replay(sim, plan):
+                    sim.timeout(0)
+                """,
+        },
+        select=["express-plan-pure"],
+    )
+    assert new(result, "express-plan-pure") == []
+
+
+# -- integrity-chain-registered ---------------------------------------
+
+
+def test_register_without_unregister_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                def attach(integrity, flow, chain):
+                    integrity.register_chain(flow, chain)
+                """,
+        }
+    )
+    findings = new(result, "integrity-chain-registered")
+    assert len(findings) == 1
+    assert "unregister_chain" in findings[0].message
+    assert findings[0].snippet == "integrity.register_chain(flow, chain)"
+
+
+def test_register_with_matching_unregister_is_clean(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                def attach(integrity, flow, chain):
+                    integrity.register_chain(flow, chain)
+
+
+                def detach(integrity, flow):
+                    integrity.unregister_chain(flow)
+                """,
+        }
+    )
+    assert new(result, "integrity-chain-registered") == []
+
+
+def test_integrity_test_modules_are_exempt(run_tree):
+    result = run_tree(
+        {
+            "tests/integrity/__init__.py": "",
+            "tests/integrity/test_layer.py": """\
+                def test_register(layer):
+                    layer.register_chain("f", ["mb"])
+                """,
+        },
+        paths=("tests",),
+    )
+    assert new(result, "integrity-chain-registered") == []
