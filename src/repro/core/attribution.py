@@ -62,6 +62,11 @@ class ConnectionAttributor:
     def attribute(self, host_ip: str, src_port: int) -> Optional[AttributionRecord]:
         return self._by_flow.get((host_ip, src_port))
 
+    def forget(self, host_ip: str, src_port: int) -> None:
+        """Drop a closed connection's record (the detach path calls
+        this so attribution state stays O(active flows))."""
+        self._by_flow.pop((host_ip, src_port), None)
+
     def records_for_vm(self, vm_name: str) -> list[AttributionRecord]:
         return [r for r in self._by_flow.values() if r.vm_name == vm_name]
 

@@ -575,6 +575,7 @@ class HaCluster:
         leader_log.apply(index, saga, entry)
         applied = [leader_log]
         obs = self.obs
+        entry_rtt = 0.0
         for peer in self.nodes:
             if peer is leader or not self._reachable(leader, peer):
                 continue
@@ -584,10 +585,15 @@ class HaCluster:
             else:
                 peer_log.apply(index, saga, entry)
             applied.append(peer_log)
+            link = self._ifaces[(leader.name, peer.name)].link
+            rtt = 2.0 * link.latency if link is not None else 0.0
+            if rtt > entry_rtt:
+                entry_rtt = rtt
             if obs is not None:
-                link = self._ifaces[(leader.name, peer.name)].link
-                rtt = 2.0 * link.latency if link is not None else 0.0
                 obs.metrics.histogram("ha.ship.lag").observe(rtt)
+        # the synchronous ship waits for the slowest acked peer, so the
+        # saga is charged that peer's round trip for this entry
+        saga.ship_rtt += entry_rtt
         if obs is not None:
             obs.metrics.counter("ha.ship.entries").inc()
         if len(applied) < self.quorum:

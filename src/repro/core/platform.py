@@ -56,16 +56,22 @@ from repro.core.saga import (
 from repro.core.splicing import (
     GatewayPair,
     create_gateway_pair,
+    forget_attach_conntrack,
     install_attach_nat,
+    release_gateway_pair,
     remove_attach_nat,
 )
 from repro.core.steering import SteeringChain
 from repro.sim import Resource, Simulator
 
 
-@dataclass
+@dataclass(eq=False)
 class StorMFlow:
-    """One spliced storage connection with its service chain."""
+    """One spliced storage connection with its service chain.
+
+    ``eq=False``: flows are identity objects — membership tests in the
+    platform's flow list must not walk every field (and chain) of every
+    live flow."""
 
     tenant_name: str
     vm_name: str
@@ -78,6 +84,11 @@ class StorMFlow:
     session: object = None
     attribution: Optional[AttributionRecord] = None
     detached: bool = False
+    #: the compute host the session originates from and the true
+    #: storage-side address — retained so the detach saga's eviction
+    #: step can forget the exact conntrack tuples the attach pinned.
+    host: object = None
+    target_ip: str = ""
 
 
 class StorM:
@@ -99,6 +110,24 @@ class StorM:
         self.gateway_pairs: dict[str, GatewayPair] = {}
         self.middleboxes: dict[str, MiddleBox] = {}
         self.flows: list[StorMFlow] = []
+        #: live-flow counts per tenant and per middle-box, maintained
+        #: alongside ``flows`` so fleet-scale paths (detach eviction,
+        #: deprovision guards) stay O(1) instead of scanning the flow
+        #: list — pure bookkeeping, no simulation events.
+        self._tenant_flows: dict[str, int] = {}
+        self._mb_refs: dict[str, int] = {}
+        #: attaches in flight (saga begun, flow not yet registered) per
+        #: tenant — the detach-side eviction must not tear down a
+        #: tenant's gateways while a concurrent attach is mid-saga.
+        self._tenant_pending: dict[str, int] = {}
+        #: state-eviction knob (``CloudParams.evict_detached``): when
+        #: on, the detach saga tears down the flow's pinned conntrack
+        #: and idle tenants' gateways/metric scopes.
+        self.evict_detached = cloud.params.evict_detached
+        #: post-commit hook called as ``on_saga_commit(saga)``; the
+        #: fleet generator uses it to read per-saga shipping RTT for
+        #: attach-latency attribution.  None = zero overhead.
+        self.on_saga_commit: Optional[Callable[[Saga], None]] = None
         self._mb_ids = itertools.count(1)
         self._placement_cycle = None
         self.service_factories: dict[str, Callable[[ServiceSpec, "StorM"], StorageService]] = {
@@ -221,6 +250,46 @@ class StorM:
             wire_node(self.obs, pair.ingress)
             wire_node(self.obs, pair.egress)
         return pair
+
+    def release_gateways(self, tenant_name: str) -> bool:
+        """Tear down a tenant's gateway pair (last flow detached).
+
+        Idempotent; returns True when a pair was actually released.
+        The next attach for the tenant re-creates a fresh pair through
+        :meth:`ensure_gateways` — addresses are never reused, so the
+        create/release cycle stays deterministic.
+        """
+        pair = self.gateway_pairs.pop(tenant_name, None)
+        if pair is None:
+            return False
+        release_gateway_pair(self.cloud, pair)
+        return True
+
+    # -- flow bookkeeping ---------------------------------------------------
+
+    def tenant_flow_count(self, tenant_name: str) -> int:
+        """Live (registered, not-yet-detached) flows of one tenant."""
+        return self._tenant_flows.get(tenant_name, 0)
+
+    def _track_flow(self, flow: StorMFlow) -> None:
+        self._tenant_flows[flow.tenant_name] = (
+            self._tenant_flows.get(flow.tenant_name, 0) + 1
+        )
+        for mb in flow.middleboxes:
+            self._mb_refs[mb.name] = self._mb_refs.get(mb.name, 0) + 1
+
+    def _untrack_flow(self, flow: StorMFlow) -> None:
+        remaining = self._tenant_flows.get(flow.tenant_name, 0) - 1
+        if remaining > 0:
+            self._tenant_flows[flow.tenant_name] = remaining
+        else:
+            self._tenant_flows.pop(flow.tenant_name, None)
+        for mb in flow.middleboxes:
+            refs = self._mb_refs.get(mb.name, 0) - 1
+            if refs > 0:
+                self._mb_refs[mb.name] = refs
+            else:
+                self._mb_refs.pop(mb.name, None)
 
     # -- the saga executor -------------------------------------------------
 
@@ -368,6 +437,8 @@ class StorM:
         saga.mark("commit")
         if self.intent_log is not None:
             self._record("saga.commit", saga.cookie, op=saga.op)
+        if self.on_saga_commit is not None:
+            self.on_saga_commit(saga)
 
     def _rollback_saga(self, saga: Saga) -> None:
         """Run compensations, newest started step first.  Undo closures
@@ -492,12 +563,14 @@ class StorM:
         deprovisioned: their NIC is already dark, but the OVS port,
         ARP entries, and committed capacity still need reclaiming.
         """
-        for flow in self.flows:
-            if mb in flow.middleboxes:
-                raise PolicyError(
-                    f"middle-box {mb.name} is still in the chain of "
-                    f"{flow.vm_name}:{flow.volume_name}; detach first"
-                )
+        if self._mb_refs.get(mb.name, 0):
+            # O(1) guard; scan only to name a culprit in the error
+            for flow in self.flows:
+                if mb in flow.middleboxes:
+                    raise PolicyError(
+                        f"middle-box {mb.name} is still in the chain of "
+                        f"{flow.vm_name}:{flow.volume_name}; detach first"
+                    )
         saga = self._begin_saga(
             "deprovision_middlebox",
             f"storm-mb:{mb.tenant.name}:{mb.name}",
@@ -664,8 +737,11 @@ class StorM:
                 cookie=cookie,
                 session=session,
                 attribution=state.get("attribution"),
+                host=host,
+                target_ip=target_ip,
             )
             self.flows.append(flow)
+            self._track_flow(flow)
             self._register_flow_chain(flow)
             if volume is not None:
                 for mb in middleboxes:
@@ -685,7 +761,16 @@ class StorM:
             register=register,
         )
         saga = self._begin_saga(op, cookie, steps, state=state, **(detail or {}))
-        flow = yield from self._execute_saga(saga)
+        pending = self._tenant_pending
+        pending[tenant.name] = pending.get(tenant.name, 0) + 1
+        try:
+            flow = yield from self._execute_saga(saga)
+        finally:
+            left = pending.get(tenant.name, 0) - 1
+            if left > 0:
+                pending[tenant.name] = left
+            else:
+                pending.pop(tenant.name, None)
         return flow
 
     def attach_with_services(
@@ -849,7 +934,9 @@ class StorM:
             chain.retire(state["retired"])
 
         def do_update():
+            self._untrack_flow(flow)
             flow.middleboxes = list(middleboxes)
+            self._track_flow(flow)
             self._register_flow_chain(flow)
 
         saga = self._begin_saga(
@@ -886,22 +973,56 @@ class StorM:
                 self.flows.remove(flow)
             if not flow.detached:
                 flow.detached = True
+                self._untrack_flow(flow)
                 self._unregister_flow_chain(flow)
                 for mb in flow.middleboxes:
                     if mb.service is not None:
                         mb.service.on_volume_detached(flow)
 
+        def do_evict():
+            # Per-flow state first: the conntrack entries this attach
+            # pinned on the host and both gateways.  Every call here is
+            # idempotent, so saga replay after a crash is safe.
+            if flow.host is not None:
+                forget_attach_conntrack(
+                    flow.host,
+                    flow.gateways,
+                    flow.target_ip,
+                    flow.src_port,
+                    port=flow.chain.service_port,
+                )
+                self.attributor.forget(
+                    flow.host.storage_iface.ip, flow.src_port
+                )
+            # Then tenant-wide state, once the last flow is gone and no
+            # attach is mid-saga: the per-tenant metrics scope and the
+            # gateway pair itself.
+            if (
+                self.tenant_flow_count(flow.tenant_name) == 0
+                and not self._tenant_pending.get(flow.tenant_name)
+            ):
+                if self.obs is not None:
+                    self.obs.release_scope(flow.tenant_name)
+                self.release_gateways(flow.tenant_name)
+
+        steps = [
+            # the pivot is first on purpose: a mid-detach crash must
+            # finish the teardown, never reopen the session
+            SagaStep("close-session", do=do_close, pivot=True, locked=False,
+                     forward_only=True),
+            SagaStep("remove-rules", do=do_remove_rules, locked=False),
+            SagaStep("unregister-flow", do=do_unregister, locked=False),
+        ]
+        if self.evict_detached:
+            # past the pivot and pure cleanup: never compensated
+            steps.append(
+                SagaStep("evict-state", do=do_evict, locked=False,
+                         forward_only=True)
+            )
         saga = self._begin_saga(
             "detach",
             flow.cookie,
-            [
-                # the pivot is first on purpose: a mid-detach crash must
-                # finish the teardown, never reopen the session
-                SagaStep("close-session", do=do_close, pivot=True, locked=False,
-                         forward_only=True),
-                SagaStep("remove-rules", do=do_remove_rules, locked=False),
-                SagaStep("unregister-flow", do=do_unregister, locked=False),
-            ],
+            steps,
             vm=flow.vm_name,
             volume=flow.volume_name,
         )

@@ -138,6 +138,13 @@ class Saga:
         #: the local journal either way (append-then-ship — exactly
         #: what compensation closures must tolerate).
         self.shipper: Optional[Callable[["Saga", str], None]] = None
+        #: cumulative replication round-trip time this saga's journal
+        #: entries spent on the HA shipping mesh (seconds of simulated
+        #: link latency; the slowest acked peer per entry).  Zero on
+        #: the single-node platform.  The fleet harness charges this
+        #: into the ``fleet.attach.latency`` histogram so attach p99
+        #: reflects quorum shipping, not just data-plane connect time.
+        self.ship_rtt = 0.0
 
     def mark(self, entry: str) -> None:
         self.journal.append(entry)

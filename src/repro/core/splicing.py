@@ -21,6 +21,7 @@ from repro.cloud.controller import CloudController
 from repro.cloud.tenant import Tenant
 from repro.iscsi.pdu import ISCSI_PORT
 from repro.net.nat import NatRule
+from repro.net.packet import FiveTuple
 from repro.net.stack import Node
 from repro.sim import Simulator
 
@@ -146,3 +147,58 @@ def remove_attach_nat(host: ComputeHost, gateways: GatewayPair, cookie: str) -> 
     removed += gateways.ingress.stack.nat.remove_by_cookie(cookie)
     removed += gateways.egress.stack.nat.remove_by_cookie(cookie)
     return removed
+
+
+def forget_attach_conntrack(
+    host: ComputeHost,
+    gateways: GatewayPair,
+    target_ip: str,
+    src_port: int,
+    port: int = ISCSI_PORT,
+) -> int:
+    """Drop the conntrack entries one attach pinned, on all three hops.
+
+    The tuples are exactly what :func:`install_attach_nat`'s rules
+    recorded for a connection from ``host``'s storage NIC on
+    ``src_port``: the original flow at the host's OUTPUT hook, the
+    host-DNATed flow arriving at the ingress gateway, and the
+    ingress-masqueraded flow arriving at the egress gateway.  Returns
+    the number of forward entries removed (reply entries go with
+    them).  Safe any time after the flow's session is closed — without
+    this, conntrack grows O(ever-attached) under fleet churn.
+    """
+    src_ip = host.storage_iface.ip
+    removed = 0
+    for nat, original in (
+        (host.stack.nat, FiveTuple("tcp", src_ip, src_port, target_ip, port)),
+        (
+            gateways.ingress.stack.nat,
+            FiveTuple("tcp", src_ip, src_port, gateways.ingress.storage_ip, port),
+        ),
+        (
+            gateways.egress.stack.nat,
+            FiveTuple(
+                "tcp",
+                gateways.ingress.instance_ip,
+                src_port,
+                gateways.egress.instance_ip,
+                port,
+            ),
+        ),
+    ):
+        before = len(nat.conntrack)
+        nat.conntrack.forget(original)
+        removed += before - len(nat.conntrack)
+    return removed
+
+
+def release_gateway_pair(cloud: CloudController, pair: GatewayPair) -> None:
+    """Reverse of :func:`create_gateway_pair`: unplug both gateways'
+    NICs from the host OVS and the storage switch and retire their
+    addresses.  Idempotent; callers must first ensure no live flow
+    still traverses the pair."""
+    for gateway in (pair.ingress, pair.egress):
+        host = cloud.compute_hosts.get(gateway.host_name or "")
+        if host is not None:
+            cloud.unplug_instance_iface(gateway, host)
+        cloud.unplug_storage_iface(gateway)

@@ -115,7 +115,9 @@ class ChainWatchdog:
     def tick(self) -> None:
         if self.obs is not None:
             self.obs.metrics.counter("watchdog.probes").inc()
-        for flow in self._watched_flows():
+        flows = self._watched_flows()
+        self._forget_detached(flows)
+        for flow in flows:
             desired = self._desired.setdefault(
                 flow.cookie, list(flow.middleboxes)
             )
@@ -128,6 +130,20 @@ class ChainWatchdog:
                 self._apply_fail_closed(flow, dead)
             else:
                 self._apply_fail_open(flow, desired, dead)
+
+    def _forget_detached(self, flows) -> None:
+        """Detached flows have left the rules: drop their desired-chain
+        and bypass entries and return any boxes still on loan, so
+        watchdog state stays O(active flows) under fleet churn."""
+        live = {f.cookie for f in flows}
+        for cookie in [c for c in self._desired if c not in live]:
+            del self._desired[cookie]
+            self._bypassed.discard(cookie)
+            self._integrity_quiesced.discard(cookie)
+            lent = self._borrowed.pop(cookie, None)
+            if lent and self.capacity_pool is not None:
+                for name in lent:
+                    self.capacity_pool.restore(lent[name])
 
     def _demote_express(self, reason: str) -> None:
         """Watchdog actions change the data path out from under any

@@ -1,0 +1,30 @@
+"""Fleet-scale open-loop workload generation (DESIGN.md §15).
+
+``repro.fleet`` drives the StorM control plane at cloud-operator
+scale: thousands of tenants, hundreds of thousands of attach /
+detach sessions, sharded across per-tenant simulation domains merged
+deterministically by :class:`repro.sim.ShardedKernel`.
+
+- :class:`FleetConfig` — every knob (seed, shards, arrival process,
+  Zipf tenant skew, diurnal curve, churn storms, HA);
+- :func:`build_plan` — the precomputed, seed-deterministic arrival
+  schedule;
+- :class:`FleetDomain` — one self-contained mini-cloud + StorM
+  platform per shard;
+- :class:`FleetRun` — builds the sharded kernel, dispatches the plan,
+  and reports events/s, attach-latency percentiles, and a
+  byte-reproducible session trace digest.
+"""
+
+from repro.fleet.arrivals import SessionPlan, build_plan
+from repro.fleet.config import FleetConfig
+from repro.fleet.domain import FleetDomain
+from repro.fleet.generator import FleetRun
+
+__all__ = [
+    "FleetConfig",
+    "FleetDomain",
+    "FleetRun",
+    "SessionPlan",
+    "build_plan",
+]

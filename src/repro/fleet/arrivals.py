@@ -1,0 +1,92 @@
+"""Seed-deterministic arrival schedules: Poisson / Pareto gaps, Zipf
+tenants, diurnal thinning, and churn storms.
+
+The whole schedule is materialized up front (open loop): the
+simulation consumes it but never feeds back into it, so the plan — and
+hence the run — is a pure function of the :class:`FleetConfig`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from repro.fleet.config import FleetConfig
+from repro.sim.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One planned session: when it arrives, whose it is, how long it
+    lives, and how many synthetic I/O ticks it performs."""
+
+    index: int
+    at: float
+    tenant: int
+    hold: float
+    ios: int
+
+
+def zipf_cdf(n: int, s: float) -> list[float]:
+    """Cumulative (unnormalized) Zipf weights ``1/k^s`` for k=1..n."""
+    total = 0.0
+    cdf = []
+    for k in range(1, n + 1):
+        total += 1.0 / k**s
+        cdf.append(total)
+    return cdf
+
+
+def _pick_tenant(cdf: list[float], rng: SeededRNG) -> int:
+    return bisect.bisect_left(cdf, rng.random() * cdf[-1])
+
+
+def _intensity(t: float, config: FleetConfig) -> float:
+    """Diurnal acceptance probability in ``[1 - amplitude, 1]``; the
+    trough sits at ``t = 0 (mod period)`` (cosine thinning)."""
+    phase = math.cos(2.0 * math.pi * t / config.diurnal_period)
+    return 1.0 - config.diurnal_amplitude * 0.5 * (1.0 + phase)
+
+
+def build_plan(config: FleetConfig, rng: SeededRNG) -> list[SessionPlan]:
+    """The full schedule, sorted by arrival time and re-indexed."""
+    gaps = rng.child("gaps")
+    accept = rng.child("diurnal")
+    tenants = rng.child("tenants")
+    holds = rng.child("holds")
+    storms = rng.child("storms")
+
+    cdf = zipf_cdf(config.tenants, config.zipf_s)
+    hold_rate = 1.0 / config.mean_hold
+    # Pareto scale giving a mean gap of 1/rate for shape alpha > 1
+    alpha = config.pareto_alpha
+    pareto_xm = (alpha - 1.0) / (alpha * config.arrival_rate)
+
+    raw: list[tuple[float, int, float, int]] = []
+    t = 0.0
+    while len(raw) < config.sessions:
+        if config.arrival == "poisson":
+            t += gaps.expovariate(config.arrival_rate)
+        else:
+            t += pareto_xm * (1.0 - gaps.random()) ** (-1.0 / alpha)
+        if config.diurnal_amplitude > 0.0 and accept.random() > _intensity(t, config):
+            continue
+        hold = max(config.min_hold, holds.expovariate(hold_rate))
+        raw.append((t, _pick_tenant(cdf, tenants), hold, config.ios_per_session))
+
+    # Churn storms: bursts of minimum-hold sessions at evenly spaced
+    # points through the base span, jittered so same-time ties still
+    # resolve by the deterministic (time, seq) order.
+    span = raw[-1][0] if raw else 1.0
+    for storm in range(config.churn_storms):
+        center = span * (storm + 1) / (config.churn_storms + 1)
+        for _ in range(config.storm_size):
+            at = center + storms.uniform(0.0, 0.1)
+            raw.append((at, _pick_tenant(cdf, storms), config.min_hold, 1))
+
+    raw.sort(key=lambda item: item[0])
+    return [
+        SessionPlan(index=i, at=at, tenant=tenant, hold=hold, ios=ios)
+        for i, (at, tenant, hold, ios) in enumerate(raw)
+    ]

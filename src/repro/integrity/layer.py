@@ -95,6 +95,11 @@ class TamperBreaker:
         until = self.trip_until.get(flow)
         return until is not None and now < until
 
+    def forget(self, flow: str) -> None:
+        """Drop the flow's detection history and trip state (detach)."""
+        self._events.pop(flow, None)
+        self.trip_until.pop(flow, None)
+
 
 def _frame(pdu: Any) -> tuple[str, int, int, bytes]:
     """(op, offset, length, payload) of a stamped PDU, duck-typed so
@@ -177,6 +182,24 @@ class IntegrityLayer:
 
     def unregister_chain(self, flow: str) -> None:
         self.expected.pop(flow, None)
+        self.forget_flow(flow)
+
+    def forget_flow(self, flow: str) -> None:
+        """Drop every per-flow registry entry — key material, sequence
+        counters, replay windows, breaker history — so integrity state
+        is O(active flows), not O(ever-attached).  Keys are pure
+        derivations of (master key, flow), so a later re-attach of the
+        same IQN rebuilds identical material; the ``detections`` audit
+        log is deliberately kept."""
+        self._data_keys.pop(flow, None)
+        self._nonces.pop(flow, None)
+        for seq_key in [k for k in self._tx_seq if k[0] == flow]:
+            del self._tx_seq[seq_key]
+        for rx_key in [k for k in self._rx if k[0] == flow]:
+            del self._rx[rx_key]
+        for hop_key in [k for k in self._hop_keys if k[0] == flow]:
+            del self._hop_keys[hop_key]
+        self.breaker.forget(flow)
 
     def expected_hops(self, flow: str) -> tuple[str, ...]:
         return self.expected.get(flow, ())

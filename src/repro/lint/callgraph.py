@@ -32,7 +32,7 @@ from repro.lint import effects as fx
 #: path prefixes stripped when mapping a file path to its module name
 SOURCE_ROOTS: tuple[str, ...] = ("src/", "tests/lint/fixtures/")
 
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 
 def module_name_for(path: str) -> str:
@@ -111,6 +111,31 @@ class SagaStepSite:
         )
 
 
+@dataclass(frozen=True)
+class RegistrySite:
+    """One store into — or eviction from — a keyed container.
+
+    Stores are recorded only when *hinted*: the container name or the
+    key expression mentions a per-session identifier (tenant, flow,
+    iqn, conn, sess), i.e. the container plausibly grows with
+    ever-attached sessions.  Evictions (``pop``/``del``/``clear``/
+    ``discard``/``remove``) are recorded for every container so the
+    ``bounded-tenant-registry`` rule can pair them up by name.
+    """
+
+    line: int
+    snippet: str
+    name: str   # the container's final attribute name, alias-resolved
+    kind: str   # "store" | "evict"
+
+    def to_json(self) -> list[Any]:
+        return [self.line, self.snippet, self.name, self.kind]
+
+    @classmethod
+    def from_json(cls, raw: Sequence[Any]) -> "RegistrySite":
+        return cls(int(raw[0]), str(raw[1]), str(raw[2]), str(raw[3]))
+
+
 @dataclass
 class FunctionInfo:
     """One function or method (closures fold into their parent)."""
@@ -173,6 +198,7 @@ class ModuleSummary:
     functions: list[FunctionInfo] = field(default_factory=list)
     classes: dict[str, ClassInfo] = field(default_factory=dict)
     saga_steps: list[SagaStepSite] = field(default_factory=list)
+    registries: list[RegistrySite] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -183,6 +209,7 @@ class ModuleSummary:
             "functions": [f.to_json() for f in self.functions],
             "classes": {k: v.to_json() for k, v in self.classes.items()},
             "saga_steps": [s.to_json() for s in self.saga_steps],
+            "registries": [r.to_json() for r in self.registries],
         }
 
     @classmethod
@@ -197,6 +224,7 @@ class ModuleSummary:
                 str(k): ClassInfo.from_json(v) for k, v in raw["classes"].items()
             },
             saga_steps=[SagaStepSite.from_json(s) for s in raw["saga_steps"]],
+            registries=[RegistrySite.from_json(r) for r in raw["registries"]],
         )
 
 
@@ -236,6 +264,32 @@ def _const_true(node: Optional[ast.expr]) -> bool:
     return isinstance(node, ast.Constant) and node.value is True
 
 
+#: identifier fragments marking a container as keyed per session /
+#: tenant — the registries that must stay O(active)
+_REGISTRY_HINTS: tuple[str, ...] = ("tenant", "flow", "iqn", "conn", "sess")
+
+#: method names that shrink a container
+_EVICT_METHODS = frozenset({"pop", "popitem", "clear", "discard", "remove"})
+
+#: method names that grow a keyed container
+_STORE_METHODS = frozenset({"setdefault", "add"})
+
+
+def _idents(node: ast.AST) -> list[str]:
+    """Every Name id and Attribute attr inside an expression."""
+    out: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.append(sub.attr)
+    return out
+
+
+def _hinted(names: Iterable[str]) -> bool:
+    return any(h in n.lower() for n in names for h in _REGISTRY_HINTS)
+
+
 class _SummaryBuilder(ast.NodeVisitor):
     """One pass over a module tree; produces the :class:`ModuleSummary`."""
 
@@ -248,6 +302,9 @@ class _SummaryBuilder(ast.NodeVisitor):
             qual=f"{summary.module}.<module>", name="<module>", cls="", line=1
         )
         summary.functions.append(self._module_fn)
+        #: per-function ``local = self._registry`` aliases, so evicting
+        #: through the alias still pairs with stores on the attribute
+        self._alias_stack: list[dict[str, str]] = [{}]
 
     # -- helpers ------------------------------------------------------
 
@@ -326,7 +383,9 @@ class _SummaryBuilder(ast.NodeVisitor):
         if cls:
             self.summary.classes[cls].methods.append(node.name)
         self._fn_stack.append(info)
+        self._alias_stack.append({})
         self.generic_visit(node)
+        self._alias_stack.pop()
         self._fn_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -335,6 +394,81 @@ class _SummaryBuilder(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._handle_def(node)
 
+    # -- keyed registries ---------------------------------------------
+
+    def _container_name(self, node: ast.expr) -> Optional[str]:
+        """Final attribute name of a container reference, with bare
+        locals resolved through the current function's aliases."""
+        decomposed = _attr_chain(node)
+        if decomposed is None:
+            return None
+        chain, name = decomposed
+        if not chain:
+            return self._alias_stack[-1].get(name, name)
+        return name
+
+    def _record_registry(self, line: int, name: str, kind: str) -> None:
+        self.summary.registries.append(
+            RegistrySite(line, self._snippet(line), name, kind)
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `local = self._registry`: remember the alias so a later
+        # `local.pop(...)` counts as evicting `_registry`
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, (ast.Name, ast.Attribute))
+        ):
+            target_name = self._container_name(node.value)
+            if target_name is not None:
+                self._alias_stack[-1][node.targets[0].id] = target_name
+        for target in node.targets:
+            self._maybe_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._maybe_store(node.target)
+        self.generic_visit(node)
+
+    def _maybe_store(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Subscript):
+            return
+        name = self._container_name(target.value)
+        if name is None:
+            return
+        if _hinted((name, *_idents(target.slice))):
+            self._record_registry(target.lineno, name, "store")
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                name = self._container_name(target.value)
+                if name is not None:
+                    self._record_registry(target.lineno, name, "evict")
+        self.generic_visit(node)
+
+    def _registry_call(self, node: ast.Call, chain: tuple[str, ...],
+                       name: str) -> None:
+        if not chain:
+            return
+        if name in _EVICT_METHODS:
+            container = (
+                self._alias_stack[-1].get(chain[0], chain[0])
+                if len(chain) == 1
+                else chain[-1]
+            )
+            self._record_registry(node.lineno, container, "evict")
+        elif name in _STORE_METHODS:
+            container = (
+                self._alias_stack[-1].get(chain[0], chain[0])
+                if len(chain) == 1
+                else chain[-1]
+            )
+            key_idents = [i for arg in node.args for i in _idents(arg)]
+            if _hinted((container, *key_idents)):
+                self._record_registry(node.lineno, container, "store")
+
     # -- calls & effects ----------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -342,6 +476,7 @@ class _SummaryBuilder(ast.NodeVisitor):
         if decomposed is not None:
             chain, name = decomposed
             self._current.calls.append(CallRecord(chain, name, node.lineno))
+            self._registry_call(node, chain, name)
             found = fx.classify_call(chain, name, self.summary.imports)
             if found:
                 self._add_effects(node, found)

@@ -211,3 +211,56 @@ class IntegrityChainRegisteredRule(Rule):
             for call in f.calls
             if call.name == name
         )
+
+
+@rule
+class BoundedTenantRegistryRule(Rule):
+    """Every per-tenant/per-flow keyed container needs an evict path.
+
+    Failure scenario: a module grows a convenience cache —
+    ``self._by_tenant[tenant.name] = ...`` — populated on attach and
+    never cleaned.  Nothing breaks in tests (a few tenants, short
+    runs), but at fleet scale the process holds an entry for every
+    session *ever attached*: memory is O(ever-attached) instead of
+    O(active), and the peak-RSS budget in ``BENCH_fleet.json`` blows
+    through (DESIGN.md §15).  Any module that stores into a container
+    whose name or key mentions a session identifier (tenant / flow /
+    iqn / conn / sess) must also contain an eviction for that same
+    container (``pop`` / ``del`` / ``clear`` / ``discard`` /
+    ``remove``), wired into the detach path.  Registries bounded by
+    configuration rather than by churn can suppress with a reason.
+    """
+
+    id = "bounded-tenant-registry"
+    summary = "tenant/flow-keyed containers need a matching evict path in-module"
+    family = "contract"
+    needs_program = True
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for mod in sorted(program.modules):
+            if is_harness_module(mod):
+                continue
+            summary = program.modules[mod]
+            evicted = {
+                r.name for r in summary.registries if r.kind == "evict"
+            }
+            flagged: set[str] = set()
+            for site in summary.registries:
+                if site.kind != "store" or site.name in evicted:
+                    continue
+                if site.name in flagged:
+                    continue
+                flagged.add(site.name)
+                yield Finding(
+                    rule_id=self.id,
+                    path=summary.path,
+                    line=site.line,
+                    col=1,
+                    message=(
+                        f"registry {site.name!r} is keyed by a session "
+                        "identifier but this module never evicts from it: "
+                        "state grows O(ever-attached), not O(active) — "
+                        "pop entries on the detach path"
+                    ),
+                    snippet=site.snippet,
+                )

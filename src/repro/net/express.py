@@ -504,7 +504,7 @@ class ExpressManager:
                 if candidate.matches(pkt, in_port):
                     rule = candidate
                     break
-            table._decision_cache[key] = rule
+            table._note_decision(key, rule)
         return rule
 
     @staticmethod
@@ -542,5 +542,5 @@ class ExpressManager:
                 continue
             if rule.matches(pkt):
                 return False
-        nat._no_match.add(flow_key)
+        nat._note_no_match(flow_key)
         return True

@@ -96,6 +96,13 @@ class ConnTrack:
         return len(self._forward)
 
 
+#: Capacity of the negative-decision cache.  A pure cache — entries
+#: are recomputed on miss — so capping it is semantically neutral; it
+#: turns a table that grew one entry per flow *ever* seen into O(cap)
+#: regardless of attach churn (the fleet-scale requirement).
+NO_MATCH_CAP = 4096
+
+
 class NatTable:
     """An iptables-like NAT chain applied by a node's IP stack.
 
@@ -105,13 +112,15 @@ class NatTable:
     paying the rule scan on every packet.  Installing a rule flushes
     the negative cache (new rules can only add matches; removals can't
     turn a non-match into a match, and translated flows stay pinned by
-    conntrack anyway).
+    conntrack anyway).  The negative cache is bounded at
+    :data:`NO_MATCH_CAP` entries, evicting oldest-first.
     """
 
     def __init__(self):
         self.rules: list[NatRule] = []
         self.conntrack = ConnTrack()
-        self._no_match: set[tuple] = set()
+        # insertion-ordered for deterministic oldest-first eviction
+        self._no_match: dict[tuple, None] = {}
         #: observability bus hook plus the owning node's name for
         #: metric attribution; None = uninstrumented (no overhead).
         self.obs = None
@@ -180,8 +189,17 @@ class NatTable:
             if self.obs is not None:
                 self.obs.metrics.counter("nat.rule_match", self.scope).inc()
             return True
-        self._no_match.add(flow_key)
+        self._note_no_match(flow_key)
         return False
+
+    def _note_no_match(self, flow_key: tuple) -> None:
+        """Cache a negative decision, evicting oldest-first at capacity.
+        Shared with the express path's read-only probe so both modes
+        populate (and bound) the cache identically."""
+        no_match = self._no_match
+        no_match[flow_key] = None
+        if len(no_match) > NO_MATCH_CAP:
+            del no_match[next(iter(no_match))]
 
     @staticmethod
     def _apply(packet: Packet, translation: _Translation) -> None:

@@ -18,21 +18,36 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional
 
-from repro.net.switch import FlowRule, Switch, cookie_in_family
+from repro.net.switch import FlowRule, Switch, cookie_in_family, cookie_root
 
 
 class SdnController:
-    """Installs flow rules on registered switches, cookie-scoped."""
+    """Installs flow rules on registered switches, cookie-scoped.
+
+    The controller's install journal is bucketed by cookie family root
+    (like the switch tables themselves), so removing or listing one
+    chain's rules costs O(chain) — the journal never has to be rebuilt
+    wholesale, no matter how many other chains are live.
+    """
 
     def __init__(self, name: str = "storm-sdn"):
         self.name = name
         self._switches: dict[str, Switch] = {}
-        self.installed_rules: list[tuple[str, FlowRule]] = []
+        #: install journal: family root -> [(seq, switch, rule), ...]
+        self._journal: dict[Optional[str], list[tuple[int, str, FlowRule]]] = {}
+        self._journal_seq = 0
         #: express-path demotion hook (wired by the cloud controller
         #: when express mode is on): called with a reason string on
         #: every rule change, so promoted flows fall back to packet
         #: mode before any new steering generation can take effect.
         self.express_notify: Optional[Callable[[str], None]] = None
+
+    @property
+    def installed_rules(self) -> list[tuple[str, FlowRule]]:
+        """The journal flattened in install order (compat view)."""
+        entries = [e for bucket in self._journal.values() for e in bucket]
+        entries.sort(key=lambda e: e[0])
+        return [(switch_name, rule) for _seq, switch_name, rule in entries]
 
     def register_switch(self, switch: Switch) -> None:
         if switch.name in self._switches:
@@ -49,7 +64,11 @@ class SdnController:
         if self.express_notify is not None:
             self.express_notify(f"sdn-install:{switch_name}")
         self.switch(switch_name).flow_table.install(rule)
-        self.installed_rules.append((switch_name, rule))
+        seq = self._journal_seq
+        self._journal_seq = seq + 1
+        self._journal.setdefault(cookie_root(rule.cookie), []).append(
+            (seq, switch_name, rule)
+        )
 
     def remove_by_cookie(
         self, cookie: str, switch_name: Optional[str] = None, family: bool = True
@@ -63,24 +82,35 @@ class SdnController:
         if self.express_notify is not None:
             self.express_notify(f"sdn-remove:{cookie}")
         removed = 0
+        # Sweep every switch table, not just the journaled ones — the
+        # journal can drift from table truth (the reconciler's whole
+        # premise); a per-table miss is an O(1) bucket lookup anyway.
         targets = [self.switch(switch_name)] if switch_name else list(self._switches.values())
         for switch in targets:
             removed += switch.flow_table.remove_by_cookie(cookie, family=family)
-        self.installed_rules = [
-            (sw_name, rule)
-            for sw_name, rule in self.installed_rules
-            if not (
-                cookie_in_family(rule.cookie, cookie, family)
-                and (switch_name is None or sw_name == switch_name)
-            )
-        ]
+        root = cookie_root(cookie)
+        bucket = self._journal.get(root)
+        if bucket:
+            kept = [
+                entry
+                for entry in bucket
+                if not (
+                    cookie_in_family(entry[2].cookie, cookie, family)
+                    and (switch_name is None or entry[1] == switch_name)
+                )
+            ]
+            if kept:
+                self._journal[root] = kept
+            else:
+                del self._journal[root]
         return removed
 
     def rules_for_cookie(self, cookie: str, family: bool = True) -> list[tuple[str, FlowRule]]:
+        bucket = self._journal.get(cookie_root(cookie), [])
         return [
-            (sw, r)
-            for sw, r in self.installed_rules
-            if cookie_in_family(r.cookie, cookie, family)
+            (switch_name, rule)
+            for _seq, switch_name, rule in bucket
+            if cookie_in_family(rule.cookie, cookie, family)
         ]
 
     def iter_rules(self) -> Iterator[tuple[str, FlowRule]]:

@@ -104,38 +104,95 @@ def cookie_in_family(rule_cookie: Optional[str], cookie: str, family: bool = Tru
 #: Cache-miss marker (a rule can legitimately resolve to ``None``).
 _MISS = object()
 
+#: Capacity of the per-flow decision cache.  A pure memo — flushed on
+#: every rule change and recomputed on miss — so the cap only bounds
+#: steady-state memory: without it the cache grew one entry per flow
+#: *ever* switched, O(ever-attached) under fleet churn.
+DECISION_CACHE_CAP = 8192
+
+
+def cookie_root(cookie: Optional[str]) -> Optional[str]:
+    """The family root of a cookie: everything before the first ``#``.
+    Family membership (:func:`cookie_in_family`) never crosses roots,
+    which is what lets rule stores bucket by root and remove a chain's
+    rules in O(chain) instead of O(table)."""
+    if cookie is None:
+        return None
+    return cookie.split("#", 1)[0]
+
 
 class FlowTable:
     """Priority-ordered rule set with cookie-based removal.
 
+    Rules live in an insertion-ordered id map plus a per-cookie-family
+    bucket index, so ``remove_by_cookie`` touches only the family's own
+    rules — O(chain), not O(table), which is what keeps control-plane
+    churn affordable when thousands of chains share one switch.  The
+    priority-sorted view (:attr:`rules`) is materialized lazily and
+    cached between rule changes.
+
     Lookups are memoized per *flow*: every header field a rule can
     match on goes into the cache key, so packets of an established
     flow skip the linear rule scan.  The cache is flushed whenever the
-    rule set changes.
+    rule set changes and bounded at :data:`DECISION_CACHE_CAP` entries
+    (oldest-first eviction, deterministic via dict insertion order).
     """
 
     def __init__(self):
-        self.rules: list[FlowRule] = []
+        self._next_id = 0
+        #: id -> rule, insertion-ordered (the stable-sort tiebreak)
+        self._live: dict[int, FlowRule] = {}
+        #: cookie family root -> ids of its rules, insertion-ordered
+        self._by_root: dict[Optional[str], list[int]] = {}
+        self._sorted: Optional[list[FlowRule]] = None
         self._decision_cache: dict[tuple, Optional[FlowRule]] = {}
         #: change notification registered by the express path when a
         #: compiled flow depends on this table (see repro.net.express);
         #: any rule change must demote those flows back to packet mode.
         self._x_on_change: Optional[Callable[[], None]] = None
 
-    def install(self, rule: FlowRule) -> None:
-        self.rules.append(rule)
-        self.rules.sort(key=lambda r: -r.priority)
+    @property
+    def rules(self) -> list[FlowRule]:
+        """Priority-descending view; equal priorities keep install
+        order (same order the old eager stable sort produced)."""
+        if self._sorted is None:
+            self._sorted = sorted(self._live.values(), key=lambda r: -r.priority)
+        return self._sorted
+
+    def _changed(self) -> None:
+        self._sorted = None
         self._decision_cache.clear()
         if self._x_on_change is not None:
             self._x_on_change()
 
+    def install(self, rule: FlowRule) -> None:
+        rule_id = self._next_id
+        self._next_id = rule_id + 1
+        self._live[rule_id] = rule
+        self._by_root.setdefault(cookie_root(rule.cookie), []).append(rule_id)
+        self._changed()
+
     def remove_by_cookie(self, cookie: str, family: bool = False) -> int:
-        before = len(self.rules)
-        self.rules = [r for r in self.rules if not cookie_in_family(r.cookie, cookie, family)]
-        self._decision_cache.clear()
-        if self._x_on_change is not None:
-            self._x_on_change()
-        return before - len(self.rules)
+        root = cookie_root(cookie)
+        ids = self._by_root.get(root)
+        if not ids:
+            return 0
+        keep: list[int] = []
+        removed = 0
+        live = self._live
+        for rule_id in ids:
+            if cookie_in_family(live[rule_id].cookie, cookie, family):
+                del live[rule_id]
+                removed += 1
+            else:
+                keep.append(rule_id)
+        if removed:
+            if keep:
+                self._by_root[root] = keep
+            else:
+                del self._by_root[root]
+            self._changed()
+        return removed
 
     def lookup(self, packet: Packet, in_port: str) -> Optional[FlowRule]:
         key = (
@@ -155,13 +212,22 @@ class FlowTable:
                 if candidate.matches(packet, in_port):
                     rule = candidate
                     break
-            self._decision_cache[key] = rule
+            self._note_decision(key, rule)
         if rule is not None:
             rule.hits += 1
         return rule
 
+    def _note_decision(self, key: tuple, rule: Optional[FlowRule]) -> None:
+        """Memoize one flow's decision, evicting oldest-first at
+        capacity.  Shared with the express path's probe so both modes
+        populate (and bound) the cache identically."""
+        cache = self._decision_cache
+        cache[key] = rule
+        if len(cache) > DECISION_CACHE_CAP:
+            del cache[next(iter(cache))]
+
     def __len__(self) -> int:
-        return len(self.rules)
+        return len(self._live)
 
 
 class Switch:

@@ -117,6 +117,13 @@ class ObsBus:
     def records(self) -> list[dict]:
         return self.collector.records
 
+    def release_scope(self, scope: str) -> int:
+        """Evict every metric attributed to ``scope`` (a detached
+        tenant) from the registry.  Plain dict surgery — no events, no
+        RNG — so the bus stays passive; already-exported records are
+        untouched."""
+        return self.metrics.evict_scope(scope)
+
     # -- spans & events ----------------------------------------------
 
     def span(self, name: str, parent: Any = None, **attrs: Any) -> Span:

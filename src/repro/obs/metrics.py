@@ -145,6 +145,20 @@ class MetricsRegistry:
         """Every metric attributed to one scope (e.g. one tenant)."""
         return [m for key, m in sorted(self._metrics.items()) if key[2] == scope]
 
+    def evict_scope(self, scope: str) -> int:
+        """Drop every metric attributed to ``scope``; returns the count.
+
+        The detach path calls this (via ``ObsBus.release_scope``) when
+        a tenant's last flow goes away, so per-tenant counters stop
+        accumulating O(ever-attached) registry entries.  Next use of
+        the scope lazily re-creates its metrics from zero — callers
+        that need the final values must snapshot first.
+        """
+        keys = [key for key in self._metrics if key[2] == scope]
+        for key in keys:
+            del self._metrics[key]
+        return len(keys)
+
     def snapshot(self) -> list[dict]:
         """Deterministically ordered schema records for export."""
         return [self._metrics[key].record() for key in sorted(self._metrics)]

@@ -22,6 +22,7 @@ from repro.sim.core import (
 )
 from repro.sim.resources import Resource, Store
 from repro.sim.rng import SeededRNG
+from repro.sim.shard import ShardedKernel, ShardSimulator
 
 __all__ = [
     "AllOf",
@@ -31,6 +32,8 @@ __all__ = [
     "Process",
     "Resource",
     "SeededRNG",
+    "ShardSimulator",
+    "ShardedKernel",
     "SimulationError",
     "Simulator",
     "Store",

@@ -34,9 +34,11 @@ class XorService(StorageService):
 class StormEnv:
     """A 4-compute/1-storage cloud with one tenant VM and volume."""
 
-    def __init__(self, volume_size=1024 * BLOCK_SIZE, transactional=False, express=False):
-        self.sim = Simulator()
-        params = CloudParams(express=True) if express else None
+    def __init__(self, volume_size=1024 * BLOCK_SIZE, transactional=False,
+                 express=False, sim=None, params=None):
+        self.sim = Simulator() if sim is None else sim
+        if params is None:
+            params = CloudParams(express=True) if express else None
         self.cloud = CloudController(self.sim, params)
         for i in range(1, 5):
             self.cloud.add_compute_host(f"compute{i}")

@@ -1,0 +1,78 @@
+"""The open-loop schedule is a pure function of the config."""
+
+import math
+
+from repro.fleet import FleetConfig, build_plan
+from repro.fleet.arrivals import _intensity, zipf_cdf
+from repro.sim.rng import SeededRNG
+
+
+def _plan(**overrides):
+    config = FleetConfig(**{"seed": 3, "tenants": 40, "sessions": 2000, **overrides})
+    return config, build_plan(config, SeededRNG(config.seed, name="fleet"))
+
+
+def test_plan_is_deterministic_and_sorted():
+    _, first = _plan(churn_storms=2, storm_size=30)
+    _, second = _plan(churn_storms=2, storm_size=30)
+    assert first == second
+    assert [p.at for p in first] == sorted(p.at for p in first)
+    assert [p.index for p in first] == list(range(len(first)))
+
+
+def test_poisson_mean_gap_matches_rate():
+    config, plan = _plan(arrival_rate=100.0, sessions=4000)
+    span = plan[-1].at - plan[0].at
+    mean_gap = span / (len(plan) - 1)
+    assert math.isclose(mean_gap, 1.0 / config.arrival_rate, rel_tol=0.1)
+
+
+def test_pareto_gaps_are_heavy_tailed_with_same_mean():
+    config, plan = _plan(arrival="pareto", pareto_alpha=1.5,
+                         arrival_rate=100.0, sessions=4000)
+    gaps = [b.at - a.at for a, b in zip(plan, plan[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    assert math.isclose(mean_gap, 1.0 / config.arrival_rate, rel_tol=0.25)
+    # heavy tail: the largest gap dwarfs the mean far beyond what an
+    # exponential would produce at this sample size
+    assert max(gaps) > 20 * mean_gap
+
+
+def test_zipf_skews_sessions_toward_low_tenants():
+    _, plan = _plan(zipf_s=1.2, sessions=4000)
+    counts = [0] * 40
+    for p in plan:
+        counts[p.tenant] += 1
+    assert counts[0] > counts[10] > counts[39]
+    assert counts[0] > len(plan) / 40 * 3  # far above the uniform share
+
+
+def test_storms_add_min_hold_burst_sessions():
+    config, base = _plan(churn_storms=0)
+    _, stormy = _plan(churn_storms=3, storm_size=50)
+    assert len(stormy) == len(base) + 150
+    bursts = [p for p in stormy if p.hold == config.min_hold and p.ios == 1]
+    assert len(bursts) >= 150
+
+
+def test_diurnal_thinning_modulates_density():
+    config, plan = _plan(
+        diurnal_amplitude=0.9, diurnal_period=10.0, sessions=4000,
+        arrival_rate=200.0,
+    )
+    # bucket arrivals by phase: the trough (phase ~ 0) must be much
+    # emptier than the crest (phase ~ period/2)
+    trough = crest = 0
+    for p in plan:
+        phase = p.at % config.diurnal_period
+        if phase < 2.5 or phase >= 7.5:
+            trough += 1
+        else:
+            crest += 1
+    assert crest > 2 * trough
+    assert _intensity(0.0, config) < _intensity(config.diurnal_period / 2, config)
+
+
+def test_zipf_cdf_shape():
+    cdf = zipf_cdf(3, 1.0)
+    assert cdf == [1.0, 1.5, 1.5 + 1.0 / 3.0]

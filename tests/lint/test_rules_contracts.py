@@ -1,4 +1,4 @@
-"""Contract rules: positive / suppressed / clean fixtures for the four
+"""Contract rules: positive / suppressed / clean fixtures for the
 subsystem-invariant checks."""
 
 from __future__ import annotations
@@ -260,3 +260,145 @@ def test_integrity_test_modules_are_exempt(run_tree):
         paths=("tests",),
     )
     assert new(result, "integrity-chain-registered") == []
+
+
+# -- bounded-tenant-registry ------------------------------------------
+
+
+def test_tenant_keyed_store_without_evict_is_flagged(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Registry:
+                    def __init__(self):
+                        self._by_tenant = {}
+
+                    def attach(self, tenant_id, flow):
+                        self._by_tenant[tenant_id] = flow
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    findings = new(result, "bounded-tenant-registry")
+    assert len(findings) == 1
+    assert "_by_tenant" in findings[0].message
+    assert "O(ever-attached)" in findings[0].message
+
+
+def test_store_with_matching_pop_is_clean(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Registry:
+                    def __init__(self):
+                        self._by_tenant = {}
+
+                    def attach(self, tenant_id, flow):
+                        self._by_tenant[tenant_id] = flow
+
+                    def detach(self, tenant_id):
+                        self._by_tenant.pop(tenant_id, None)
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
+
+
+def test_del_statement_counts_as_evict(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Table:
+                    def __init__(self):
+                        self._flow_state = {}
+
+                    def install(self, flow_id, entry):
+                        self._flow_state[flow_id] = entry
+
+                    def remove(self, flow_id):
+                        del self._flow_state[flow_id]
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
+
+
+def test_evict_through_local_alias_is_clean(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Saga:
+                    def __init__(self):
+                        self._tenant_pending = {}
+
+                    def begin(self, tenant_id):
+                        self._tenant_pending[tenant_id] = object()
+
+                    def settle(self, tenant_id):
+                        pending = self._tenant_pending
+                        pending.pop(tenant_id, None)
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
+
+
+def test_unhinted_containers_are_ignored(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Config:
+                    def __init__(self):
+                        self._options = {}
+
+                    def set(self, key, value):
+                        self._options[key] = value
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
+
+
+def test_suppressed_registry_is_reported_as_suppressed(run_tree):
+    result = run_tree(
+        {
+            "src/pkg/__init__.py": "",
+            "src/pkg/plat.py": """\
+                class Exports:
+                    def __init__(self):
+                        self._by_iqn = {}
+
+                    def publish(self, iqn, volume):
+                        # stormlint: ignore[bounded-tenant-registry]
+                        self._by_iqn[iqn] = volume
+                """,
+        },
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
+    assert len(suppressed(result, "bounded-tenant-registry")) == 1
+
+
+def test_registry_rule_skips_test_modules(run_tree):
+    result = run_tree(
+        {
+            "tests/fleet/__init__.py": "",
+            "tests/fleet/test_gen.py": """\
+                def test_sessions():
+                    by_conn = {}
+                    by_conn["c1"] = object()
+                """,
+        },
+        paths=("tests",),
+        select=["bounded-tenant-registry"],
+    )
+    assert new(result, "bounded-tenant-registry") == []
